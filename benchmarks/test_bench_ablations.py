@@ -1,0 +1,67 @@
+"""Bench: ablations of the paper's design choices (DESIGN.md Section 5)."""
+
+from conftest import run_once
+
+from repro.experiments import (
+    run_ablation_encoding_scheme,
+    run_ablation_fdr,
+    run_ablation_id_precision,
+    run_ablation_levels,
+    run_ablation_weight_mapping,
+)
+
+
+def test_ablation_chunked_levels(benchmark, record):
+    result = run_once(benchmark, run_ablation_levels)
+    record(result)
+    by_scheme = {row[0]: row for row in result.rows}
+    classic_ids = by_scheme["classic"][1]
+    chunked_ids = by_scheme["chunked"][1]
+    # Section 4.2.1's claim: the chunked construction costs little or no
+    # quality ...
+    assert chunked_ids >= 0.9 * classic_ids
+    # ... while cutting encoding cycles by the dim/chunks ratio.
+    assert by_scheme["chunked"][2] < 0.25 * by_scheme["classic"][2]
+
+
+def test_ablation_id_precision(benchmark, record):
+    result = run_once(benchmark, run_ablation_id_precision)
+    record(result)
+    ids = result.column("identifications")
+    # Multi-bit IDs never hurt; 3-bit at least matches 1-bit.
+    assert ids[2] >= 0.95 * ids[0]
+
+
+def test_ablation_weight_mapping(benchmark, record):
+    result = run_once(benchmark, run_ablation_weight_mapping)
+    record(result)
+    for row in result.rows:
+        _active, differential, nondifferential = row
+        # Section 4.1.1: the differential pair is strictly more accurate
+        # under the same device/circuit noise.
+        assert differential < nondifferential
+
+
+def test_ablation_encoding_scheme(benchmark, record):
+    result = run_once(benchmark, run_ablation_encoding_scheme)
+    record(result)
+    by_encoder = {row[0]: row[1] for row in result.rows}
+    # Section 3.2's claim: ID-Level captures m/z + intensity better than
+    # both alternatives the literature proposed.
+    assert by_encoder["id-level"] >= by_encoder["random-projection"]
+    assert by_encoder["id-level"] >= by_encoder["permutation"]
+    # All encoders produce a functioning search (sanity).
+    assert all(count > 0 for count in by_encoder.values())
+
+
+def test_ablation_fdr_grouping(benchmark, record):
+    result = run_once(benchmark, run_ablation_fdr)
+    record(result)
+    by_variant = {row[0]: row for row in result.rows}
+    # Subgroup FDR accepts at least as many modified PSMs as global FDR.
+    assert by_variant["grouped"][2] >= by_variant["global"][2]
+    # Both stay honest: most accepted PSMs are correct.
+    for variant in ("global", "grouped"):
+        accepted, correct = by_variant[variant][1], by_variant[variant][3]
+        if accepted:
+            assert correct >= 0.9 * accepted

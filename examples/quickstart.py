@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Quickstart: open modification search in ~40 lines.
+
+Builds a small synthetic spectral library, runs the full HD-OMS
+pipeline (preprocess -> ID-Level encode -> Hamming search in a wide
+precursor window -> target-decoy FDR), and prints what was identified.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.hdc import HDSpaceConfig
+from repro.ms import WorkloadConfig, build_workload
+from repro.oms import OmsPipeline, PipelineConfig
+
+# 1. A synthetic stand-in for a real experiment: a library of 2000
+#    reference peptides and 300 query spectra, about half of which carry
+#    a post-translational modification (mass-shifted precursor +
+#    fragments), plus some foreign spectra that should NOT match.
+workload = build_workload(
+    WorkloadConfig(
+        name="quickstart",
+        num_references=2000,
+        num_queries=300,
+        modification_probability=0.5,
+        foreign_fraction=0.1,
+        seed=42,
+    )
+)
+
+# 2. Configure the pipeline: 4096-dimensional hypervectors with 3-bit
+#    multi-bit IDs (the paper's recommended setting) and a 1% FDR.
+config = PipelineConfig(
+    space=HDSpaceConfig(dim=4096, num_levels=32, id_precision_bits=3, seed=7),
+    fdr_threshold=0.01,
+)
+
+# 3. Build the pipeline (generates decoys, encodes the library once)
+#    and search.
+pipeline = OmsPipeline.from_workload(workload, config)
+result = pipeline.run_workload(workload)
+
+# 4. Report.
+print(f"queries searched      : {result.search_result.num_queries}")
+print(f"library (with decoys) : {result.num_references_with_decoys}")
+print(f"PSMs accepted at 1% FDR: {len(result.accepted_psms)}")
+print(f"unique peptides        : {result.num_identifications}")
+modified = sum(1 for psm in result.accepted_psms if psm.is_modified_match)
+print(f"  of which modified    : {modified}")
+print("ground-truth evaluation:", {
+    key: round(value, 3) for key, value in result.evaluation.items()
+})
+for stage, seconds in result.timings.items():
+    print(f"  {stage:22s}: {seconds * 1000:8.1f} ms")

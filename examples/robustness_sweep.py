@@ -1,0 +1,31 @@
+#!/usr/bin/env python
+"""HD robustness sweep: how much memory error can the search absorb?
+
+Reproduces the Figure 11 experiment at a custom scale and adds the
+ground-truth view a synthetic workload makes possible: not just *how
+many* peptides pass the FDR filter at each bit error rate, but how many
+of them are actually correct.
+
+Run:  python examples/robustness_sweep.py
+"""
+
+from repro.experiments import run_fig11, iprg2012_like
+
+workload = iprg2012_like(scale=0.4)
+
+result = run_fig11(
+    workload=workload,
+    dim=4096,
+    bers=(0.0015, 0.01, 0.05, 0.10, 0.20, 0.30),
+    id_precisions=(1, 2, 3),
+    seed=21,
+)
+print(result.render())
+
+print(
+    "\nReading: identifications hold roughly flat up to ~10% BER — the "
+    "error level 3-bit/cell MLC storage reaches after a day (Figure 7) "
+    "— then fall off; multi-bit ID hypervectors buy extra margin. "
+    "This is the co-design argument of the paper: dense-but-noisy "
+    "memory is usable because HD absorbs the noise."
+)

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package that PEP 660
+editable installs require, so ``pip install -e .`` falls back to the
+legacy ``setup.py develop`` path through this file.  All metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,126 @@
+"""The proposed accelerator, assembled (paper Sections 4 + 5.3).
+
+:class:`OmsAccelerator` bundles everything "this work" adds on top of
+the plain HD pipeline: in-memory chunked encoding, in-memory Hamming
+search, and (optionally) MLC round-tripping of query hypervectors
+through dense n-bit storage.  ``build_searcher`` returns a standard
+:class:`~repro.oms.search.HDOmsSearcher`, so the accelerator slots into
+the same pipeline and FDR machinery as every baseline — the only
+difference is that encode and similarity run on simulated RRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..hdc.encoder import SpectrumEncoder
+from ..hdc.spaces import HDSpace, HDSpaceConfig
+from ..ms.preprocessing import PreprocessingConfig
+from ..ms.spectrum import Spectrum
+from ..ms.vectorize import BinningConfig
+from ..oms.candidates import WindowConfig
+from ..oms.search import HDOmsSearcher, HDSearchConfig
+from ..rram.device import RRAMDeviceModel
+from ..rram.storage import HypervectorStore
+from .config import AcceleratorConfig
+from .im_encoder import InMemoryEncoder
+from .im_search import InMemorySearchBackend
+from .perf import AcceleratorPerfModel, EnergyParams
+
+
+class StoredQueryEncoder:
+    """Encoder wrapper that round-trips hypervectors through MLC storage.
+
+    Models the dense non-differential storage of Section 4.3: after
+    encoding, the hypervector is written at ``bits_per_cell`` bits per
+    cell and read back after ``storage_time_s`` of relaxation, so
+    storage bit errors flow into the search exactly as on the chip.
+    """
+
+    def __init__(
+        self,
+        inner,
+        bits_per_cell: int,
+        device: RRAMDeviceModel,
+        storage_time_s: float,
+        seed: int = 0,
+    ) -> None:
+        self.inner = inner
+        self.space = inner.space
+        self.storage_time_s = storage_time_s
+        self._store = HypervectorStore(bits_per_cell, device=device, seed=seed)
+
+    def encode(self, spectrum: Spectrum) -> np.ndarray:
+        hypervector = self.inner.encode(spectrum)
+        self._store.write(hypervector)
+        return self._store.read(self.storage_time_s).hypervectors[0]
+
+    def encode_batch(self, spectra: Sequence) -> np.ndarray:
+        hypervectors = self.inner.encode_batch(spectra)
+        self._store.write(hypervectors)
+        return self._store.read(self.storage_time_s).hypervectors
+
+
+@dataclass
+class OmsAccelerator:
+    """This work: HD open modification search on MLC RRAM.
+
+    Parameters
+    ----------
+    config:
+        Hardware configuration (array geometry, bits/cell, ADCs).
+    space_config / binning / preprocessing / windows / search:
+        Algorithm-side settings, mirroring the software pipeline; the
+        space is forced to the chunked-level scheme the hardware needs.
+    store_query_hypervectors:
+        When True, query hypervectors take the Section-4.3 storage
+        round trip before searching.
+    """
+
+    config: AcceleratorConfig = field(default_factory=AcceleratorConfig)
+    space_config: HDSpaceConfig = field(default_factory=HDSpaceConfig)
+    binning: BinningConfig = field(default_factory=BinningConfig)
+    preprocessing: PreprocessingConfig = field(default_factory=PreprocessingConfig)
+    windows: WindowConfig = field(default_factory=WindowConfig)
+    search: HDSearchConfig = field(default_factory=HDSearchConfig)
+    store_query_hypervectors: bool = False
+    storage_time_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        space_config = replace(
+            self.space_config, chunked=True, num_bins=self.binning.num_bins
+        )
+        self.space = HDSpace(space_config)
+        self.exact_encoder = SpectrumEncoder(self.space, self.binning)
+        self.im_encoder = InMemoryEncoder(self.exact_encoder, self.config)
+        encoder = self.im_encoder
+        if self.store_query_hypervectors:
+            encoder = StoredQueryEncoder(
+                self.im_encoder,
+                self.config.storage_bits_per_cell,
+                RRAMDeviceModel(self.config.device, seed=self.config.seed + 91),
+                self.storage_time_s,
+                seed=self.config.seed + 13,
+            )
+        self.encoder = encoder
+        self.backend = InMemorySearchBackend(self.config)
+
+    def build_searcher(self, references: Sequence[Spectrum]) -> HDOmsSearcher:
+        """Index a reference library on the simulated hardware."""
+        return HDOmsSearcher(
+            self.encoder,
+            references,
+            preprocessing=self.preprocessing,
+            windows=self.windows,
+            config=self.search,
+            backend=self.backend,
+        )
+
+    def perf_model(
+        self, energy: Optional[EnergyParams] = None
+    ) -> AcceleratorPerfModel:
+        """Analytical performance/energy model for this configuration."""
+        return AcceleratorPerfModel(self.config, energy or EnergyParams())

@@ -1,0 +1,53 @@
+"""Configuration of the proposed OMS accelerator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..rram.crossbar import CrossbarConfig
+from ..rram.device import DEFAULT_COMPUTE_READ_TIME_S, DeviceConfig
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Hardware parameters of the in-memory OMS engine.
+
+    ``max_active_pairs`` defaults to the paper's operating point of 64
+    activated rows with 8-level cells (Section 5.2.2).  ``encoder_adc_bits``
+    may be lower than the search ADC resolution because encoding only
+    binarises the MAC output (Section 4.2.3).
+    """
+
+    crossbar: CrossbarConfig = field(default_factory=CrossbarConfig)
+    device: DeviceConfig = field(default_factory=DeviceConfig)
+    #: Bits per cell for dense query-hypervector storage (Section 4.3).
+    storage_bits_per_cell: int = 3
+    #: ADC resolution used during in-memory encoding.  Encoding only
+    #: binarises the MAC (Section 4.2.3), so a coarse converter
+    #: suffices; 5 bits keeps the quantisation error visible in the
+    #: Figure 9a row sweep without drowning the sign information.
+    encoder_adc_bits: int = 5
+    #: Number of physical crossbar arrays available for the search stage
+    #: (column tiles beyond this count are processed sequentially).
+    num_arrays: int = 256
+    #: Sensing-cycle clock (open-circuit voltage settle + ADC), MHz.
+    clock_mhz: float = 10.0
+    #: Time after programming at which all computing happens (the paper
+    #: measures at least 2 hours post-programming).
+    compute_read_time_s: float = DEFAULT_COMPUTE_READ_TIME_S
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.storage_bits_per_cell not in (1, 2, 3):
+            raise ValueError("storage_bits_per_cell must be 1, 2 or 3")
+        if not 1 <= self.encoder_adc_bits <= 16:
+            raise ValueError("encoder_adc_bits must be in [1, 16]")
+        if self.num_arrays < 1:
+            raise ValueError("num_arrays must be >= 1")
+        if self.clock_mhz <= 0:
+            raise ValueError("clock_mhz must be > 0")
+
+    @property
+    def cycle_seconds(self) -> float:
+        """Duration of one sensing cycle."""
+        return 1.0 / (self.clock_mhz * 1e6)

@@ -1,0 +1,181 @@
+"""In-memory spectrum encoding (paper Section 4.2, Figure 5c).
+
+The ID codebook is held in RRAM: each m/z bin's ID hypervector occupies
+one (differential) row bank across the array columns.  Encoding a
+spectrum activates exactly the rows of its peaks' bins — this is why
+"number of activated rows" is the error knob of Figure 9a — and feeds
+the corresponding level hypervectors as inputs.
+
+With classic level hypervectors this is an element-wise MAC: for output
+dimension ``d`` the input of peak ``i`` is ``LV_i[d]``, different for
+every column, so only one column per cycle is valid (Figure 5a).  The
+chunked level scheme (Section 4.2.1) makes the input *constant within a
+chunk*: driving the peaks' rows with the chunk value yields valid MAC
+outputs for every column of the chunk simultaneously — MVM-style
+throughput (Figure 5c).
+
+This implementation reuses the exact sensing physics of
+:func:`repro.rram.crossbar.sense_chunk` with lazily programmed codebook
+rows (only bins a workload touches are materialised).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..hdc.encoder import SpectrumEncoder, sign_with_tiebreak
+from ..ms.spectrum import Spectrum
+from ..ms.vectorize import SparseVector, vectorize
+from ..rram.adc import ADC, ADCConfig
+from ..rram.crossbar import sense_chunk
+from ..rram.device import RRAMDeviceModel
+from .config import AcceleratorConfig
+
+
+@dataclass
+class EncoderStats:
+    """Operation counters for the performance model."""
+
+    spectra_encoded: int = 0
+    sensing_cycles: int = 0
+    adc_conversions: int = 0
+    programmed_rows: int = 0
+
+
+class InMemoryEncoder:
+    """RRAM-backed implementation of Eq. 1 using the chunked-LV trick.
+
+    Drop-in replacement for :class:`~repro.hdc.encoder.SpectrumEncoder`
+    (exposes ``space``, ``encode``, ``encode_batch``); the accumulator is
+    produced by simulated analog MACs instead of exact integer math.
+    """
+
+    def __init__(
+        self,
+        exact_encoder: SpectrumEncoder,
+        config: Optional[AcceleratorConfig] = None,
+    ) -> None:
+        space = exact_encoder.space
+        if space.chunked_levels is None:
+            raise ValueError(
+                "in-memory encoding requires a chunked-level HDSpace "
+                "(HDSpaceConfig(chunked=True))"
+            )
+        self.exact_encoder = exact_encoder
+        self.space = space
+        self.binning = exact_encoder.binning
+        self.config = config or AcceleratorConfig()
+        self.device = RRAMDeviceModel(self.config.device, seed=self.config.seed)
+        self.adc = ADC(
+            ADCConfig(
+                bits=self.config.encoder_adc_bits,
+                v_min=self.config.crossbar.v_ref - self.config.crossbar.v_pulse,
+                v_max=self.config.crossbar.v_ref + self.config.crossbar.v_pulse,
+            )
+        )
+        self._rng = np.random.default_rng(self.config.seed + 55)
+        self._w_max = float(2 ** (space.config.id_precision_bits - 1))
+        self._offsets = self._rng.normal(
+            0.0, self.config.crossbar.offset_sigma_v, space.dim
+        )
+        self._row_cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._chunk_slices = space.chunked_levels.chunk_slices()
+        self.stats = EncoderStats()
+
+    def _codebook_row(self, bin_index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Relaxed conductance pair for one ID row (lazily programmed)."""
+        cached = self._row_cache.get(bin_index)
+        if cached is None:
+            weights = self.space.id_vector(bin_index).astype(np.float64)
+            gmax = self.device.config.gmax_us
+            target_plus = 0.5 * (1.0 + weights / self._w_max) * gmax
+            target_minus = 0.5 * (1.0 - weights / self._w_max) * gmax
+            g_plus = self.device.program_and_relax(
+                target_plus, self.config.compute_read_time_s, self._rng
+            ).astype(np.float32)
+            g_minus = self.device.program_and_relax(
+                target_minus, self.config.compute_read_time_s, self._rng
+            ).astype(np.float32)
+            cached = (g_plus, g_minus)
+            self._row_cache[bin_index] = cached
+            self.stats.programmed_rows += 1
+        return cached
+
+    def accumulate(self, vector: SparseVector) -> np.ndarray:
+        """Analog estimate of Eq. 1's accumulator (float64, (dim,))."""
+        dim = self.space.dim
+        if len(vector) == 0:
+            return np.zeros(dim, dtype=np.float64)
+        ids_g = [self._codebook_row(int(b)) for b in vector.indices]
+        g_plus = np.stack([pair[0] for pair in ids_g]).astype(np.float64)
+        g_minus = np.stack([pair[1] for pair in ids_g]).astype(np.float64)
+        _ids, levels = self.exact_encoder.peak_operands(vector)
+        chunk_values = self.space.chunked_levels.chunk_values
+        max_active = self.config.crossbar.max_active_pairs
+        num_peaks = len(vector)
+        accumulator = np.zeros(dim, dtype=np.float64)
+        groups = [
+            np.arange(start, min(start + max_active, num_peaks))
+            for start in range(0, num_peaks, max_active)
+        ]
+        for chunk_index, chunk_slice in enumerate(self._chunk_slices):
+            inputs_full = chunk_values[levels, chunk_index].astype(np.float64)
+            for group in groups:
+                accumulator[chunk_slice] += sense_chunk(
+                    inputs_full[group],
+                    g_plus[group][:, chunk_slice],
+                    g_minus[group][:, chunk_slice],
+                    self._offsets[chunk_slice],
+                    self.config.crossbar,
+                    self.device.config.gmax_us,
+                    self._w_max,
+                    self.adc,
+                    self._rng,
+                )
+                self.stats.sensing_cycles += 1
+                self.stats.adc_conversions += (
+                    chunk_slice.stop - chunk_slice.start
+                )
+        return accumulator
+
+    def encode_vector(self, vector: SparseVector) -> np.ndarray:
+        """Encode one sparse vector through the analog path."""
+        accumulator = self.accumulate(vector)
+        self.stats.spectra_encoded += 1
+        return sign_with_tiebreak(accumulator, self.space.tiebreak)
+
+    def encode(self, spectrum: Spectrum) -> np.ndarray:
+        """Encode one preprocessed spectrum."""
+        return self.encode_vector(vectorize(spectrum, self.binning))
+
+    def encode_batch(self, spectra: Sequence) -> np.ndarray:
+        """Encode many spectra into an (n, dim) int8 matrix."""
+        out = np.empty((len(spectra), self.space.dim), dtype=np.int8)
+        for row, item in enumerate(spectra):
+            if isinstance(item, SparseVector):
+                out[row] = self.encode_vector(item)
+            else:
+                out[row] = self.encode(item)
+        return out
+
+    def encoding_bit_error_rate(self, vectors: Sequence[SparseVector]) -> float:
+        """Mean sign-disagreement vs. the exact encoder (Figure 9a).
+
+        Dimensions whose exact accumulator is zero are excluded: their
+        sign is resolved by the digital tiebreak, so neither outcome is
+        an "error".
+        """
+        mismatches = 0
+        comparable = 0
+        for vector in vectors:
+            exact = self.exact_encoder.accumulate(vector)
+            analog = self.accumulate(vector)
+            nonzero = exact != 0
+            mismatches += int(
+                np.sum((exact[nonzero] > 0) != (analog[nonzero] > 0))
+            )
+            comparable += int(nonzero.sum())
+        return mismatches / comparable if comparable else 0.0

@@ -1,0 +1,131 @@
+"""In-memory Hamming similarity search (paper Section 4.1, Figure 4a).
+
+Reference hypervectors are stored **vertically**: each reference is a
+column of differential pairs, dimensions run down the rows.  A query is
+broadcast as differential bit-line voltages; every activated column
+produces one MAC (= dot product = affine Hamming similarity) per
+row-chunk sweep.  Chunks of at most ``max_active_pairs`` rows are
+sensed per cycle (the paper's chip drives 64 rows of 8-level cells) and
+partial MACs accumulate digitally.
+
+Implements the :class:`repro.oms.search.SimilarityBackend` protocol so
+:class:`~repro.oms.search.HDOmsSearcher` can run unchanged on simulated
+hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..rram.adc import ADC
+from ..rram.crossbar import sense_chunk
+from ..rram.device import RRAMDeviceModel
+from ..rram.metrics import normalized_rmse
+from .config import AcceleratorConfig
+
+
+@dataclass
+class SearchStats:
+    """Operation counters for the performance model."""
+
+    queries: int = 0
+    sensing_cycles: int = 0
+    adc_conversions: int = 0
+    stored_references: int = 0
+
+
+class InMemorySearchBackend:
+    """Analog Hamming-search backend over RRAM-stored references."""
+
+    name = "mlc-rram"
+
+    def __init__(self, config: Optional[AcceleratorConfig] = None) -> None:
+        self.config = config or AcceleratorConfig()
+        self.device = RRAMDeviceModel(self.config.device, seed=self.config.seed + 7)
+        self.adc = ADC(self.config.crossbar.adc_config())
+        self._rng = np.random.default_rng(self.config.seed + 23)
+        self._g_plus: Optional[np.ndarray] = None
+        self._g_minus: Optional[np.ndarray] = None
+        self._offsets: Optional[np.ndarray] = None
+        self._dim = 0
+        self.stats = SearchStats()
+        self._exact_refs: Optional[np.ndarray] = None
+
+    def prepare(self, reference_hvs: np.ndarray) -> None:
+        """Program the reference library into the crossbar fabric.
+
+        Weight layout is (dim, num_refs): dimension d of reference r
+        lives at row-pair d, column r.  Conductances are programmed once
+        and relaxed to the compute read time, matching the measurement
+        protocol of Section 5.2.1.
+        """
+        reference_hvs = np.asarray(reference_hvs)
+        if reference_hvs.ndim != 2:
+            raise ValueError("reference_hvs must be (n, dim)")
+        weights = reference_hvs.T.astype(np.float64)  # (dim, n)
+        self._dim = weights.shape[0]
+        gmax = self.device.config.gmax_us
+        target_plus = 0.5 * (1.0 + weights) * gmax
+        target_minus = 0.5 * (1.0 - weights) * gmax
+        self._g_plus = self.device.program_and_relax(
+            target_plus, self.config.compute_read_time_s, self._rng
+        ).astype(np.float32)
+        self._g_minus = self.device.program_and_relax(
+            target_minus, self.config.compute_read_time_s, self._rng
+        ).astype(np.float32)
+        self._offsets = self._rng.normal(
+            0.0, self.config.crossbar.offset_sigma_v, weights.shape[1]
+        )
+        self._exact_refs = reference_hvs.astype(np.float32)
+        self.stats.stored_references = weights.shape[1]
+
+    def scores(self, query_hv: np.ndarray, positions: np.ndarray) -> np.ndarray:
+        """Analog MAC scores of the query against candidate columns."""
+        if self._g_plus is None:
+            raise RuntimeError("backend not prepared")
+        positions = np.asarray(positions, dtype=np.int64)
+        query = np.asarray(query_hv, dtype=np.float64)
+        if query.shape != (self._dim,):
+            raise ValueError(f"query shape {query.shape} != ({self._dim},)")
+        max_active = self.config.crossbar.max_active_pairs
+        totals = np.zeros(len(positions), dtype=np.float64)
+        g_plus = self._g_plus[:, positions].astype(np.float64)
+        g_minus = self._g_minus[:, positions].astype(np.float64)
+        offsets = self._offsets[positions]
+        for start in range(0, self._dim, max_active):
+            rows = slice(start, min(start + max_active, self._dim))
+            totals += sense_chunk(
+                query[rows],
+                g_plus[rows],
+                g_minus[rows],
+                offsets,
+                self.config.crossbar,
+                self.device.config.gmax_us,
+                1.0,
+                self.adc,
+                self._rng,
+            )
+            self.stats.sensing_cycles += 1
+            self.stats.adc_conversions += len(positions)
+        self.stats.queries += 1
+        return totals
+
+    def exact_scores(
+        self, query_hv: np.ndarray, positions: np.ndarray
+    ) -> np.ndarray:
+        """Noise-free reference scores (digital dot products)."""
+        if self._exact_refs is None:
+            raise RuntimeError("backend not prepared")
+        subset = self._exact_refs[np.asarray(positions, dtype=np.int64)]
+        return subset @ query_hv.astype(np.float32)
+
+    def search_nrmse(
+        self, query_hv: np.ndarray, positions: np.ndarray
+    ) -> float:
+        """Normalised RMSE of analog vs. exact scores (Figure 9b)."""
+        analog = self.scores(query_hv, positions)
+        exact = self.exact_scores(query_hv, positions)
+        return normalized_rmse(exact, analog)

@@ -1,0 +1,288 @@
+"""Performance and energy models (paper Section 5.3.3, Figure 12).
+
+The accelerator's side is computed from first principles: sensing-cycle
+counts follow from the dataflow (chunked encoding, row-chunked search
+MVMs, array-count-limited column parallelism) and energy from per-ADC
+and per-cell-read constants in the range published for RRAM
+compute-in-memory macros (Wan et al. 2022; Xue et al. 2019).
+
+The digital baselines cannot be measured in this offline environment
+(no RTX 4090 / i7-11700K, no ANN-SoLo install), so they are modelled as
+operation counts divided by an *effective sustained throughput*.  The
+throughput and power constants below were calibrated once so the
+modelled iPRG2012-scale ratios land near the paper's reported
+1.7x / 24.8x / 76.7x speedups; energies then follow as time x power
+with physically plausible sustained powers.  The Figure 12 bench
+reports how close the modelled ratios come to the paper's — they are a
+*model*, not a measurement, and EXPERIMENTS.md discusses the one place
+the paper's own numbers cannot be reconciled with any single
+(time, power) assignment (HyperOMS energy).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .config import AcceleratorConfig
+
+
+@dataclass(frozen=True)
+class WorkloadShape:
+    """Abstract size of an OMS workload for analytical cost models."""
+
+    num_queries: int
+    num_references: int
+    avg_peaks: float = 100.0
+    #: Fraction of the library inside a +-500 Da open window (tryptic
+    #: precursor masses span roughly 700-3500 Da, so a wide window
+    #: covers on the order of a third of the library).
+    open_candidate_fraction: float = 0.30
+    hd_dim: int = 8192
+    num_chunks: int = 128
+    #: Candidates ANN-SoLo's ANN index forwards to exact re-scoring.
+    ann_probe_candidates: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.num_queries < 0 or self.num_references < 1:
+            raise ValueError("workload sizes must be positive")
+        if not 0 < self.open_candidate_fraction <= 1:
+            raise ValueError("open_candidate_fraction must be in (0, 1]")
+
+    @property
+    def avg_open_candidates(self) -> float:
+        return self.open_candidate_fraction * self.num_references
+
+
+#: The paper's two workloads (Table 1).
+PAPER_IPRG2012_SHAPE = WorkloadShape(num_queries=16_000, num_references=1_000_000)
+PAPER_HEK293_SHAPE = WorkloadShape(num_queries=47_000, num_references=3_000_000)
+
+
+@dataclass(frozen=True)
+class StageCost:
+    """Cycles/latency/energy of one pipeline stage."""
+
+    cycles: int
+    seconds: float
+    joules: float
+
+
+@dataclass(frozen=True)
+class PlatformCost:
+    """End-to-end cost of one platform on one workload."""
+
+    name: str
+    seconds: float
+    joules: float
+
+    def speedup_vs(self, other: "PlatformCost") -> float:
+        """How much faster *self* is than *other* (>1 means faster)."""
+        return other.seconds / self.seconds
+
+    def energy_improvement_vs(self, other: "PlatformCost") -> float:
+        """How much less energy *self* uses than *other*."""
+        return other.joules / self.joules
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Per-operation energy constants for the RRAM accelerator."""
+
+    #: Energy per ADC conversion (pJ).  8-bit SAR ADCs in mature nodes
+    #: land in the low-pJ range.
+    adc_energy_pj: float = 4.0
+    #: Energy per cell read per sensing cycle (fJ): open-circuit voltage
+    #: sensing avoids static current, keeping this in the tens of fJ.
+    cell_read_energy_fj: float = 10.0
+    #: Digital accumulation / control overhead as a fraction of the
+    #: analog energy.
+    digital_overhead: float = 0.20
+
+
+class AcceleratorPerfModel:
+    """Analytical cost of the proposed in-memory OMS engine."""
+
+    name = "this-work-mlc-rram"
+
+    def __init__(
+        self,
+        config: AcceleratorConfig = AcceleratorConfig(),
+        energy: EnergyParams = EnergyParams(),
+    ) -> None:
+        self.config = config
+        self.energy = energy
+
+    def _cycle_energy_j(self, active_pairs: int, columns: int) -> float:
+        """Energy of one sensing cycle across ``columns`` outputs."""
+        adc = columns * self.energy.adc_energy_pj * 1e-12
+        cells = (
+            columns
+            * 2
+            * active_pairs
+            * self.energy.cell_read_energy_fj
+            * 1e-15
+        )
+        return (adc + cells) * (1.0 + self.energy.digital_overhead)
+
+    def encode_cost(self, shape: WorkloadShape) -> StageCost:
+        """Chunked in-memory encoding of all query spectra (Sec. 4.2.1).
+
+        Per spectrum: every chunk needs ``ceil(peaks / max_active)``
+        sensing cycles; a cycle converts the chunk's columns.
+        """
+        max_active = self.config.crossbar.max_active_pairs
+        row_groups = math.ceil(shape.avg_peaks / max_active)
+        cycles_per_spectrum = shape.num_chunks * row_groups
+        chunk_cols = shape.hd_dim / shape.num_chunks
+        energy_per_spectrum = cycles_per_spectrum * self._cycle_energy_j(
+            min(max_active, int(shape.avg_peaks)), int(chunk_cols)
+        )
+        total_cycles = cycles_per_spectrum * shape.num_queries
+        return StageCost(
+            cycles=total_cycles,
+            seconds=total_cycles * self.config.cycle_seconds,
+            joules=energy_per_spectrum * shape.num_queries,
+        )
+
+    def search_cost(self, shape: WorkloadShape) -> StageCost:
+        """In-memory Hamming search over the open candidate set (Sec. 4.1).
+
+        Column tiles run on parallel arrays (up to ``num_arrays`` at a
+        time); the D dimensions are sensed in row chunks of
+        ``max_active_pairs``.
+        """
+        cfg = self.config
+        max_active = cfg.crossbar.max_active_pairs
+        row_chunks = math.ceil(shape.hd_dim / max_active)
+        col_tiles = math.ceil(shape.avg_open_candidates / cfg.crossbar.cols)
+        waves = math.ceil(col_tiles / cfg.num_arrays)
+        cycles_per_query = row_chunks * waves
+        # Energy counts every conversion regardless of wave scheduling.
+        energy_per_query = (
+            row_chunks
+            * self._cycle_energy_j(max_active, 1)
+            * shape.avg_open_candidates
+        )
+        total_cycles = cycles_per_query * shape.num_queries
+        return StageCost(
+            cycles=total_cycles,
+            seconds=total_cycles * self.config.cycle_seconds,
+            joules=energy_per_query * shape.num_queries,
+        )
+
+    def total_cost(self, shape: WorkloadShape) -> PlatformCost:
+        """Encode + search (preprocessing is offline, per Section 4)."""
+        encode = self.encode_cost(shape)
+        search = self.search_cost(shape)
+        return PlatformCost(
+            name=self.name,
+            seconds=encode.seconds + search.seconds,
+            joules=encode.joules + search.joules,
+        )
+
+
+def sdp_operation_count(shape: WorkloadShape) -> float:
+    """Float ops of an ANN-SoLo-style run: ANN probe + SDP re-scoring."""
+    per_candidate = 4.0 * shape.avg_peaks + 64.0
+    probes = min(shape.ann_probe_candidates, shape.avg_open_candidates)
+    return shape.num_queries * probes * per_candidate
+
+
+def hd_operation_count(shape: WorkloadShape) -> float:
+    """Binary MAC count of a HyperOMS-style run: encode + full search."""
+    encode = shape.hd_dim * shape.avg_peaks
+    search = shape.avg_open_candidates * shape.hd_dim
+    return shape.num_queries * (encode + search)
+
+
+@dataclass(frozen=True)
+class DigitalPlatformModel:
+    """A CPU/GPU baseline as effective throughput + sustained power.
+
+    ``effective_ops_per_s`` is *sustained end-to-end* throughput on this
+    workload class (irregular candidate gathers, index traversal,
+    framework overhead) — far below peak FLOPS, calibrated to the
+    paper's reported relative runtimes.
+    """
+
+    name: str
+    effective_ops_per_s: float
+    power_w: float
+    algorithm: str  # "sdp" or "hd"
+
+    def operation_count(self, shape: WorkloadShape) -> float:
+        if self.algorithm == "sdp":
+            return sdp_operation_count(shape)
+        if self.algorithm == "hd":
+            return hd_operation_count(shape)
+        raise ValueError(f"unknown algorithm {self.algorithm!r}")
+
+    def cost(self, shape: WorkloadShape) -> PlatformCost:
+        seconds = self.operation_count(shape) / self.effective_ops_per_s
+        return PlatformCost(
+            name=self.name, seconds=seconds, joules=seconds * self.power_w
+        )
+
+
+#: Calibrated baselines (see module docstring for provenance).
+ANN_SOLO_CPU = DigitalPlatformModel(
+    name="ann-solo-cpu-i7-11700K",
+    effective_ops_per_s=0.069e9,
+    power_w=125.0,
+    algorithm="sdp",
+)
+ANN_SOLO_GPU = DigitalPlatformModel(
+    name="ann-solo-gpu-rtx4090",
+    effective_ops_per_s=0.214e9,
+    power_w=275.0,
+    algorithm="sdp",
+)
+HYPEROMS_GPU = DigitalPlatformModel(
+    name="hyperoms-gpu-rtx4090",
+    effective_ops_per_s=1.6e13,
+    power_w=450.0,
+    algorithm="hd",
+)
+
+ALL_BASELINES = (ANN_SOLO_CPU, ANN_SOLO_GPU, HYPEROMS_GPU)
+
+
+def platform_costs(
+    shape: WorkloadShape,
+    accel_model: AcceleratorPerfModel = None,
+) -> Dict[str, PlatformCost]:
+    """Cost of every platform on *shape*, keyed by platform name."""
+    accel_model = accel_model or AcceleratorPerfModel()
+    costs = {model.name: model.cost(shape) for model in ALL_BASELINES}
+    ours = accel_model.total_cost(shape)
+    costs[ours.name] = ours
+    return costs
+
+
+def energy_improvements(
+    shape: WorkloadShape,
+    accel_model: AcceleratorPerfModel = None,
+) -> Dict[str, float]:
+    """Figure 12: energy improvement of each platform vs. ANN-SoLo CPU."""
+    costs = platform_costs(shape, accel_model)
+    reference = costs[ANN_SOLO_CPU.name]
+    return {
+        name: reference.joules / cost.joules for name, cost in costs.items()
+    }
+
+
+def speedups_vs_this_work(
+    shape: WorkloadShape,
+    accel_model: AcceleratorPerfModel = None,
+) -> Dict[str, float]:
+    """Section 5.3.3: how much faster this work is than each baseline."""
+    accel_model = accel_model or AcceleratorPerfModel()
+    costs = platform_costs(shape, accel_model)
+    ours = costs[accel_model.name]
+    return {
+        name: cost.seconds / ours.seconds
+        for name, cost in costs.items()
+        if name != accel_model.name
+    }

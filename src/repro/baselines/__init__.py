@@ -1,0 +1,20 @@
+"""Comparison baselines: ANN-SoLo-like, HyperOMS-like, brute force.
+
+These reimplement the two state-of-the-art tools the paper benchmarks
+against (Section 5.1.2) plus an exact-cosine oracle, all sharing the
+candidate-selection and FDR machinery of :mod:`repro.oms` so that
+Figure 10's Venn comparison is apples-to-apples.
+"""
+
+from .annsolo import AnnSoloSearcher, shifted_dot_product
+from .brute_force import BruteForceSearcher
+from .common import VectorSearcherBase
+from .hyperoms import HyperOmsSearcher
+
+__all__ = [
+    "AnnSoloSearcher",
+    "shifted_dot_product",
+    "BruteForceSearcher",
+    "VectorSearcherBase",
+    "HyperOmsSearcher",
+]

@@ -1,0 +1,89 @@
+"""ANN-SoLo-style baseline: cascade search with shifted dot product.
+
+ANN-SoLo (Bittremieux et al.; Arab et al. 2023) runs a *cascade*: a
+standard narrow-window search first, then an open search for the
+leftovers, scoring candidates with the **shifted dot product (SDP)** —
+a cosine-like score in which a reference peak may match a query peak
+either at its own m/z or at its m/z *plus the precursor mass
+difference*.  Fragments containing a modified residue shift by exactly
+that difference, so the SDP recovers the full fragment evidence for
+modified matches where a plain cosine sees only ~half of it.
+
+This reimplementation works on binned sparse vectors: for each
+reference bin, the contribution is the larger of the direct and the
+shifted query-bin product (each query bin is consumed at most once via
+the max, mirroring ANN-SoLo's one-to-one peak matching).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..ms.preprocessing import PreprocessingConfig
+from ..ms.spectrum import Spectrum
+from ..ms.vectorize import BinningConfig, SparseVector
+from ..oms.candidates import WindowConfig
+from .common import VectorSearcherBase
+
+
+def shifted_dot_product(
+    query: SparseVector,
+    reference: SparseVector,
+    shift_bins: int,
+) -> float:
+    """Cosine-normalised shifted dot product.
+
+    ``shift_bins`` is the precursor mass difference expressed in bins;
+    a reference peak at bin ``b`` may match the query at ``b`` (direct,
+    unmodified fragment) or at ``b + shift_bins`` (fragment carrying the
+    modification).  Each reference peak contributes its best alignment.
+    """
+    if len(query) == 0 or len(reference) == 0:
+        return 0.0
+    dense_query = np.zeros(query.num_bins, dtype=np.float64)
+    dense_query[query.indices] = query.values
+
+    direct = dense_query[reference.indices]
+    shifted_indices = reference.indices + shift_bins
+    valid = (shifted_indices >= 0) & (shifted_indices < query.num_bins)
+    shifted = np.zeros(len(reference.indices), dtype=np.float64)
+    shifted[valid] = dense_query[shifted_indices[valid]]
+
+    contributions = np.maximum(direct, shifted) * reference.values
+    denominator = query.norm * reference.norm
+    return float(contributions.sum() / denominator) if denominator else 0.0
+
+
+class AnnSoloSearcher(VectorSearcherBase):
+    """Cascade open search with shifted-dot-product scoring."""
+
+    name = "ann-solo"
+
+    def __init__(
+        self,
+        references: Sequence[Spectrum],
+        preprocessing: Optional[PreprocessingConfig] = None,
+        binning: Optional[BinningConfig] = None,
+        windows: Optional[WindowConfig] = None,
+        mode: str = "cascade",
+    ) -> None:
+        super().__init__(references, preprocessing, binning, windows, mode)
+
+    def score_candidates(
+        self,
+        query: Spectrum,
+        query_vector: SparseVector,
+        positions: np.ndarray,
+    ) -> np.ndarray:
+        scores = np.empty(len(positions), dtype=np.float64)
+        for row, position in enumerate(positions):
+            reference = self.references[int(position)]
+            reference_vector = self.reference_vectors[int(position)]
+            mass_difference = query.neutral_mass - reference.neutral_mass
+            shift_bins = int(round(mass_difference / self.binning.bin_width))
+            scores[row] = shifted_dot_product(
+                query_vector, reference_vector, shift_bins
+            )
+        return scores

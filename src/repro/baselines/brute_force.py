@@ -1,0 +1,35 @@
+"""Exact cosine-similarity searcher (oracle scoring baseline).
+
+Scores every candidate by the cosine of the binned intensity vectors —
+no shifting, no hashing, no encoding loss.  Useful as a floor/ceiling
+reference in tests: HD search should agree with this on unmodified
+matches, and the shifted-dot-product baseline should beat it on
+modified ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ms.spectrum import Spectrum
+from ..ms.vectorize import SparseVector, cosine_similarity
+from .common import VectorSearcherBase
+
+
+class BruteForceSearcher(VectorSearcherBase):
+    """Plain cosine similarity over candidate references."""
+
+    name = "brute-force-cosine"
+
+    def score_candidates(
+        self,
+        query: Spectrum,
+        query_vector: SparseVector,
+        positions: np.ndarray,
+    ) -> np.ndarray:
+        scores = np.empty(len(positions), dtype=np.float64)
+        for row, position in enumerate(positions):
+            scores[row] = cosine_similarity(
+                query_vector, self.reference_vectors[int(position)]
+            )
+        return scores

@@ -1,0 +1,311 @@
+"""Command-line interface: ``hdoms``.
+
+Four subcommands cover the library's user-facing workflows:
+
+* ``hdoms workload`` — generate a synthetic benchmark (MSP library +
+  MGF queries + ground-truth TSV) to disk;
+* ``hdoms search`` — run the full OMS pipeline on an MSP library and
+  MGF queries, writing accepted PSMs as TSV;
+* ``hdoms experiment`` — regenerate one (or all) of the paper's tables
+  and figures and print the rows/series;
+* ``hdoms info`` — version and configuration summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from . import __version__
+
+
+def _add_workload_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "workload", help="generate a synthetic OMS benchmark to disk"
+    )
+    parser.add_argument(
+        "--preset",
+        choices=("iprg2012", "hek293", "custom"),
+        default="iprg2012",
+        help="workload preset (Table 1 stand-ins)",
+    )
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--references", type=int, help="override library size")
+    parser.add_argument("--queries", type=int, help="override query count")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output-dir", type=Path, required=True, help="directory to write into"
+    )
+
+
+def _add_search_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "search", help="open modification search: MSP library vs MGF queries"
+    )
+    parser.add_argument("--library", type=Path, required=True, help="MSP file")
+    parser.add_argument("--queries", type=Path, required=True, help="MGF file")
+    parser.add_argument("--output", type=Path, help="TSV of accepted PSMs")
+    parser.add_argument("--dim", type=int, default=8192)
+    parser.add_argument("--id-bits", type=int, choices=(1, 2, 3), default=3)
+    parser.add_argument("--levels", type=int, default=32)
+    parser.add_argument(
+        "--mode", choices=("open", "standard", "cascade"), default="open"
+    )
+    parser.add_argument("--fdr", type=float, default=0.01)
+    parser.add_argument("--open-window", type=float, default=500.0)
+    parser.add_argument(
+        "--backend",
+        choices=("dense", "packed", "rram"),
+        default="dense",
+        help="similarity backend (rram = simulated MLC accelerator)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--no-decoys",
+        action="store_true",
+        help="library already contains decoys (Comment: Decoy=true)",
+    )
+
+
+def _add_experiment_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    parser.add_argument(
+        "name",
+        choices=(
+            "table1",
+            "fig7",
+            "fig8",
+            "fig9a",
+            "fig9b",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "all",
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="workload scale factor where applicable",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hdoms",
+        description=(
+            "HD-OMS-MLC: open modification spectral library search with "
+            "hyperdimensional computing on simulated MLC RRAM"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_workload_parser(subparsers)
+    _add_search_parser(subparsers)
+    _add_experiment_parser(subparsers)
+    subparsers.add_parser("info", help="print version and defaults")
+    return parser
+
+
+def cmd_workload(args) -> int:
+    from .experiments.workloads import HEK293_LIKE, IPRG2012_LIKE
+    from .ms.mgf import write_mgf
+    from .ms.msp import write_msp
+    from .ms.synthetic import WorkloadConfig, build_workload, scaled_config
+
+    if args.preset == "iprg2012":
+        config = scaled_config(IPRG2012_LIKE, args.scale)
+    elif args.preset == "hek293":
+        config = scaled_config(HEK293_LIKE, args.scale)
+    else:
+        config = WorkloadConfig(
+            name="custom",
+            num_references=args.references or 1000,
+            num_queries=args.queries or 200,
+            seed=args.seed,
+        )
+    if args.references:
+        config = WorkloadConfig(**{**config.__dict__, "num_references": args.references})
+    if args.queries:
+        config = WorkloadConfig(**{**config.__dict__, "num_queries": args.queries})
+
+    workload = build_workload(config)
+    args.output_dir.mkdir(parents=True, exist_ok=True)
+    library_path = args.output_dir / "library.msp"
+    queries_path = args.output_dir / "queries.mgf"
+    truth_path = args.output_dir / "truth.tsv"
+    write_msp(workload.references, library_path)
+    write_mgf(workload.queries, queries_path)
+    with open(truth_path, "w", encoding="utf-8") as handle:
+        handle.write("query_id\ttrue_peptide\n")
+        for query_id, truth in sorted(workload.truth.items()):
+            handle.write(f"{query_id}\t{truth or '-'}\n")
+    print(f"wrote {len(workload.references)} references -> {library_path}")
+    print(f"wrote {len(workload.queries)} queries    -> {queries_path}")
+    print(f"wrote ground truth           -> {truth_path}")
+    return 0
+
+
+def cmd_search(args) -> int:
+    from .constants import DEFAULT_STANDARD_WINDOW_DA
+    from .hdc.encoder import SpectrumEncoder
+    from .hdc.spaces import HDSpace, HDSpaceConfig
+    from .ms.decoy import append_decoys
+    from .ms.mgf import read_mgf
+    from .ms.msp import read_msp
+    from .ms.synthetic import REFERENCE_NOISE, SpectrumSimulator
+    from .ms.vectorize import BinningConfig
+    from .oms.candidates import WindowConfig
+    from .oms.fdr import grouped_fdr
+    from .oms.search import (
+        DenseBackend,
+        HDOmsSearcher,
+        HDSearchConfig,
+        PackedBackend,
+    )
+
+    references = list(read_msp(args.library))
+    queries = list(read_mgf(args.queries))
+    print(f"loaded {len(references)} references, {len(queries)} queries")
+    if not args.no_decoys:
+        simulator = SpectrumSimulator(seed=args.seed)
+        factory = lambda pep, charge, ident: simulator.spectrum(
+            pep, charge, ident, noise=REFERENCE_NOISE
+        )
+        references = append_decoys(references, factory, seed=args.seed)
+        print(f"library with decoys: {len(references)}")
+
+    binning = BinningConfig()
+    windows = WindowConfig(
+        standard_tolerance_da=DEFAULT_STANDARD_WINDOW_DA,
+        open_window_da=args.open_window,
+    )
+    search_config = HDSearchConfig(mode=args.mode)
+    if args.backend == "rram":
+        from .accelerator.accelerator import OmsAccelerator
+        from .accelerator.config import AcceleratorConfig
+
+        accelerator = OmsAccelerator(
+            config=AcceleratorConfig(seed=args.seed),
+            space_config=HDSpaceConfig(
+                dim=args.dim,
+                num_levels=args.levels,
+                id_precision_bits=args.id_bits,
+                seed=args.seed,
+            ),
+            binning=binning,
+            windows=windows,
+            search=search_config,
+        )
+        searcher = accelerator.build_searcher(references)
+    else:
+        space = HDSpace(
+            HDSpaceConfig(
+                dim=args.dim,
+                num_bins=binning.num_bins,
+                num_levels=args.levels,
+                id_precision_bits=args.id_bits,
+                seed=args.seed,
+            )
+        )
+        encoder = SpectrumEncoder(space, binning)
+        backend = PackedBackend() if args.backend == "packed" else DenseBackend()
+        searcher = HDOmsSearcher(
+            encoder,
+            references,
+            windows=windows,
+            config=search_config,
+            backend=backend,
+        )
+
+    result = searcher.search(queries)
+    accepted = grouped_fdr(result.psms, args.fdr)
+    peptides = {psm.peptide_key for psm in accepted if psm.peptide_key}
+    modified = sum(1 for psm in accepted if psm.is_modified_match)
+    print(
+        f"accepted {len(accepted)} PSMs at {args.fdr:.0%} FDR "
+        f"({len(peptides)} unique peptides, {modified} modified) "
+        f"in {result.elapsed_seconds:.2f}s on backend {result.backend_name!r}"
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(
+                "query_id\treference_id\tpeptide\tscore\tq_value\t"
+                "mass_difference_da\tmode\n"
+            )
+            for psm in sorted(accepted, key=lambda p: -p.score):
+                handle.write(
+                    f"{psm.query_id}\t{psm.reference_id}\t"
+                    f"{psm.peptide_key or '-'}\t{psm.score:.1f}\t"
+                    f"{psm.q_value:.5f}\t{psm.precursor_mass_difference:+.4f}\t"
+                    f"{psm.mode}\n"
+                )
+        print(f"wrote PSMs -> {args.output}")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from . import experiments as exp
+
+    runners = {
+        "table1": lambda: exp.run_table1(scale=args.scale or 1.0),
+        "fig7": lambda: exp.run_fig7(),
+        "fig8": lambda: exp.run_fig8(),
+        "fig9a": lambda: exp.run_fig9_encoding(),
+        "fig9b": lambda: exp.run_fig9_search(),
+        "fig10": lambda: exp.run_fig10(
+            workload=exp.iprg2012_like(args.scale) if args.scale else None
+        ),
+        "fig11": lambda: exp.run_fig11(
+            workload=exp.iprg2012_like(args.scale) if args.scale else None
+        ),
+        "fig12": lambda: exp.run_fig12(),
+        "fig13": lambda: exp.run_fig13(
+            workload=exp.iprg2012_like(args.scale) if args.scale else None
+        ),
+    }
+    names = list(runners) if args.name == "all" else [args.name]
+    for name in names:
+        result = runners[name]()
+        print(result.render())
+        print()
+    return 0
+
+
+def cmd_info() -> int:
+    from .constants import (
+        DEFAULT_BIN_WIDTH,
+        DEFAULT_FDR_THRESHOLD,
+        DEFAULT_OPEN_WINDOW_DA,
+    )
+
+    print(f"hdoms {__version__}")
+    print("reproduction of Fan et al., DAC 2024 (arXiv:2405.02756)")
+    print(f"  default m/z bin width : {DEFAULT_BIN_WIDTH} Da")
+    print(f"  default open window   : +-{DEFAULT_OPEN_WINDOW_DA} Da")
+    print(f"  default FDR threshold : {DEFAULT_FDR_THRESHOLD:.0%}")
+    print("  subcommands           : workload, search, experiment, info")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "workload":
+        return cmd_workload(args)
+    if args.command == "search":
+        return cmd_search(args)
+    if args.command == "experiment":
+        return cmd_experiment(args)
+    if args.command == "info":
+        return cmd_info()
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

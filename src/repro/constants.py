@@ -1,0 +1,53 @@
+"""Physical and proteomics constants shared across the package.
+
+All masses are monoisotopic and expressed in Dalton (Da) unless noted
+otherwise.  Values follow the CODATA/IUPAC recommendations commonly used
+by proteomics toolkits.
+"""
+
+from __future__ import annotations
+
+#: Mass of a proton (Da).  Used to convert between neutral mass and m/z.
+PROTON_MASS = 1.007276466621
+
+#: Mass of a hydrogen atom (Da).
+HYDROGEN_MASS = 1.0078250319
+
+#: Mass of a water molecule (Da).  A peptide's neutral mass is the sum of
+#: its residue masses plus one water (the N-terminal H and C-terminal OH).
+WATER_MASS = 18.0105646863
+
+#: Mass of ammonia (Da), used for neutral-loss ions.
+AMMONIA_MASS = 17.0265491015
+
+#: Mass of a CO group (Da); ``a``-ions are ``b``-ions minus CO.
+CO_MASS = 27.9949146221
+
+#: Default fragment m/z range retained during preprocessing (Da).
+#: Mirrors the ranges used by ANN-SoLo / HyperOMS style pipelines.
+DEFAULT_MIN_MZ = 100.0
+DEFAULT_MAX_MZ = 1500.0
+
+#: Default m/z bin width (Da) used when vectorising spectra.  1.000508 is
+#: the classic "peptide mass cluster" spacing that keeps isotopic peaks of
+#: the same nominal mass in one bin.
+DEFAULT_BIN_WIDTH = 1.0005079
+
+#: Default intensity threshold relative to the base peak (paper Section
+#: 3.1: "typically set at 1% of the greatest peak intensity").
+DEFAULT_MIN_INTENSITY_FRACTION = 0.01
+
+#: Default cap on the number of peaks retained per spectrum (paper
+#: Section 3.1: "a refined set of 50 to 150 peaks").
+DEFAULT_MAX_PEAKS = 150
+
+#: Default width of the *open* precursor window in Dalton.  Chick et al.
+#: (the HEK293 study the paper evaluates on) use a 500 Da mass-tolerant
+#: window; ANN-SoLo and HyperOMS adopt the same convention.
+DEFAULT_OPEN_WINDOW_DA = 500.0
+
+#: Default width of the *standard* (narrow) precursor window in Dalton.
+DEFAULT_STANDARD_WINDOW_DA = 0.05
+
+#: Default false-discovery-rate threshold applied by the FDR filter.
+DEFAULT_FDR_THRESHOLD = 0.01

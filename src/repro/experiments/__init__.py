@@ -1,0 +1,67 @@
+"""Experiment modules regenerating every table and figure of the paper.
+
+Each ``run_*`` function returns an
+:class:`~repro.experiments.report.ExperimentResult` whose rows/series
+mirror what the paper plots; the corresponding benchmark under
+``benchmarks/`` executes it, prints the rendering, and asserts the
+reproduced *shape* (orderings, monotonicity, crossovers).
+"""
+
+from .report import ExperimentResult, format_table
+from .workloads import (
+    HEK293_LIKE,
+    IPRG2012_LIKE,
+    PAPER_SIZES,
+    both_workloads,
+    hek293_like,
+    iprg2012_like,
+)
+from .table1 import run_table1
+from .fig7_storage import run_fig7
+from .fig8_relaxation import FIG8_TIME_POINTS_S, run_fig8
+from .fig9_compute import run_fig9_encoding, run_fig9_search
+from .fig10_venn import run_fig10, venn_regions
+from .fig11_robustness import PAPER_BER_POINTS, run_fig11
+from .fig12_energy import (
+    PAPER_ENERGY_IMPROVEMENTS,
+    PAPER_SPEEDUPS,
+    run_fig12,
+)
+from .fig13_dimension import run_fig13
+from .ablations import (
+    run_ablation_encoding_scheme,
+    run_ablation_fdr,
+    run_ablation_id_precision,
+    run_ablation_levels,
+    run_ablation_weight_mapping,
+)
+
+__all__ = [
+    "run_ablation_encoding_scheme",
+    "run_ablation_fdr",
+    "run_ablation_id_precision",
+    "run_ablation_levels",
+    "run_ablation_weight_mapping",
+    "ExperimentResult",
+    "format_table",
+    "HEK293_LIKE",
+    "IPRG2012_LIKE",
+    "PAPER_SIZES",
+    "both_workloads",
+    "hek293_like",
+    "iprg2012_like",
+    "run_table1",
+    "run_fig7",
+    "FIG8_TIME_POINTS_S",
+    "run_fig8",
+    "run_fig9_encoding",
+    "run_fig9_search",
+    "run_fig10",
+    "venn_regions",
+    "PAPER_BER_POINTS",
+    "run_fig11",
+    "PAPER_ENERGY_IMPROVEMENTS",
+    "PAPER_SPEEDUPS",
+    "run_fig12",
+    "run_fig13",
+]

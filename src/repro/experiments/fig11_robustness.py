@@ -1,0 +1,149 @@
+"""Figure 11: HD robustness — identifications vs. injected bit errors.
+
+Random sign flips at rates {0.15%, 1%, 5%, 10%, 20%} are injected into
+both the stored reference hypervectors and each query hypervector
+("errors for encoding and search", Section 5.3.2), for ID precisions of
+1/2/3 bits.  The paper's shape: identification counts stay essentially
+flat up to ~10% BER and drop at 20%, with the multi-bit ID scheme
+consistently identifying more peptides.
+
+References are encoded once per precision; the BER sweep then reuses
+the clean hypervectors, which keeps the whole sweep fast.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..hdc.encoder import SpectrumEncoder
+from ..hdc.noise import flip_bits
+from ..hdc.spaces import HDSpace, HDSpaceConfig
+from ..ms.decoy import append_decoys
+from ..ms.preprocessing import PreprocessingConfig, preprocess
+from ..ms.synthetic import SyntheticWorkload
+from ..ms.vectorize import BinningConfig
+from ..oms.candidates import CandidateIndex, WindowConfig
+from ..oms.fdr import grouped_fdr
+from ..oms.pipeline import decoy_factory_for
+from ..oms.psm import PSM
+from .report import ExperimentResult
+from .workloads import iprg2012_like
+
+#: The paper's BER sweep points.
+PAPER_BER_POINTS = (0.0015, 0.01, 0.05, 0.10, 0.20)
+
+
+def _count_identifications(
+    queries,
+    query_hvs: np.ndarray,
+    reference_spectra,
+    reference_hvs: np.ndarray,
+    index: CandidateIndex,
+    ber: float,
+    fdr_threshold: float,
+    rng: np.random.Generator,
+) -> int:
+    """Inject BER into both sides, search, FDR-filter, count peptides."""
+    noisy_refs = flip_bits(reference_hvs, ber, rng).astype(np.float32)
+    noisy_queries = flip_bits(query_hvs, ber, rng)
+    psms: List[PSM] = []
+    for query, query_hv in zip(queries, noisy_queries):
+        positions = index.select_open(query)
+        if len(positions) == 0:
+            continue
+        scores = noisy_refs[positions] @ query_hv.astype(np.float32)
+        best = int(np.argmax(scores))
+        reference = reference_spectra[int(positions[best])]
+        psms.append(
+            PSM(
+                query_id=query.identifier,
+                reference_id=reference.identifier,
+                peptide_key=reference.peptide_key(),
+                score=float(scores[best]),
+                is_decoy=reference.is_decoy,
+                precursor_mass_difference=query.neutral_mass
+                - reference.neutral_mass,
+            )
+        )
+    accepted = grouped_fdr(psms, fdr_threshold)
+    return len({psm.peptide_key for psm in accepted if psm.peptide_key})
+
+
+def run_fig11(
+    workload: Optional[SyntheticWorkload] = None,
+    dim: int = 4096,
+    bers: Sequence[float] = PAPER_BER_POINTS,
+    id_precisions: Sequence[int] = (1, 2, 3),
+    num_levels: int = 32,
+    fdr_threshold: float = 0.01,
+    seed: int = 11,
+) -> ExperimentResult:
+    """Sweep BER x ID precision on one workload."""
+    if workload is None:
+        workload = iprg2012_like(scale=0.5)
+    binning = BinningConfig()
+    preprocessing = PreprocessingConfig()
+    library = append_decoys(
+        workload.references, decoy_factory_for(workload), seed=seed
+    )
+    kept: List[Tuple] = []
+    for reference in library:
+        processed = preprocess(reference, preprocessing)
+        if processed is not None:
+            kept.append((reference, processed))
+    reference_spectra = [original for original, _ in kept]
+    index = CandidateIndex(reference_spectra, WindowConfig())
+    processed_queries: List[Tuple] = []
+    for query in workload.queries:
+        processed = preprocess(query, preprocessing)
+        if processed is not None:
+            processed_queries.append((query, processed))
+
+    columns = {precision: [] for precision in id_precisions}
+    for precision in id_precisions:
+        space = HDSpace(
+            HDSpaceConfig(
+                dim=dim,
+                num_bins=binning.num_bins,
+                num_levels=num_levels,
+                id_precision_bits=precision,
+                chunked=True,
+                seed=seed + precision,
+            )
+        )
+        encoder = SpectrumEncoder(space, binning)
+        reference_hvs = encoder.encode_batch([p for _, p in kept])
+        query_hvs = encoder.encode_batch([p for _, p in processed_queries])
+        rng = np.random.default_rng(seed + 100 * precision)
+        for ber in bers:
+            columns[precision].append(
+                _count_identifications(
+                    [q for q, _ in processed_queries],
+                    query_hvs,
+                    reference_spectra,
+                    reference_hvs,
+                    index,
+                    ber,
+                    fdr_threshold,
+                    rng,
+                )
+            )
+    rows = []
+    for row_index, ber in enumerate(bers):
+        rows.append(
+            [f"{ber:.2%}"]
+            + [columns[precision][row_index] for precision in id_precisions]
+        )
+    return ExperimentResult(
+        experiment_id="fig11",
+        title=f"HD robustness on {workload.config.name}: identifications vs. BER",
+        headers=["BER"]
+        + [f"ID_precision_{precision}bit" for precision in id_precisions],
+        rows=rows,
+        notes={
+            "paper_shape": "flat to ~10% BER, drop at 20%; multi-bit IDs identify more",
+            "dim": dim,
+        },
+    )

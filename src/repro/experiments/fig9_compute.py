@@ -1,0 +1,177 @@
+"""Figure 9: in-memory computation errors vs. number of activated rows.
+
+Two sub-experiments, mirroring Section 5.2.2:
+
+* **(a) encoding errors** — the in-memory encoder (chunked-LV MVM over
+  the ID codebook) is compared against the exact digital encoder on
+  real synthetic spectra; the metric is the sign-disagreement rate of
+  Eq. 1's accumulator (dimensions with an exactly-zero accumulator are
+  excluded: their sign is resolved by the digital tiebreak, so neither
+  outcome is an error).  The ID precision (1/2/3 bits) sets the number
+  of conductance levels the cells must hold — the paper's "1/2/3 bits
+  per cell".
+* **(b) search errors** — raw MVM outputs of a crossbar holding
+  n-bit-alphabet weights are compared against exact dot products; the
+  metric is the range-normalised RMSE, as the paper reports for the
+  integer-valued Hamming-search outputs.
+
+Both errors must grow with the number of activated rows (the 1/N
+voltage-sensing scale factor plus ADC resolution shared across a larger
+full scale) and with bits per cell (tighter level margins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..accelerator.config import AcceleratorConfig
+from ..accelerator.im_encoder import InMemoryEncoder
+from ..hdc.encoder import SpectrumEncoder
+from ..hdc.spaces import HDSpace, HDSpaceConfig
+from ..ms.preprocessing import preprocess
+from ..ms.synthetic import WorkloadConfig, build_workload
+from ..ms.vectorize import BinningConfig, vectorize
+from ..rram.crossbar import CrossbarArray, CrossbarConfig
+from ..rram.device import DeviceConfig
+from ..rram.metrics import normalized_rmse
+from .report import ExperimentResult
+
+#: Signed alphabets for 1/2/3-bit weights (zero excluded, Section 4.2.2).
+_WEIGHT_ALPHABETS = {
+    1: np.array([-1, 1]),
+    2: np.array([-2, -1, 1, 2]),
+    3: np.array([-4, -3, -2, -1, 1, 2, 3, 4]),
+}
+
+
+def _crossbar_config(active_rows: int, base: CrossbarConfig) -> CrossbarConfig:
+    rows = max(base.rows, 2 * active_rows)
+    return replace(base, rows=rows, max_active_pairs=active_rows)
+
+
+def run_fig9_encoding(
+    activated_rows: Sequence[int] = (16, 32, 48, 64, 96, 128),
+    dim: int = 1024,
+    num_spectra: int = 12,
+    device_config: Optional[DeviceConfig] = None,
+    seed: int = 9,
+) -> ExperimentResult:
+    """Sub-figure (a): encoding bit error rate vs. activated rows."""
+    binning = BinningConfig()
+    # Long peptides + generous background give ~100-150 retained peaks,
+    # matching the paper's preprocessing output (Section 3.1) — the
+    # activated-rows knob only bites when spectra have at least that
+    # many peaks to drive simultaneously.
+    from ..ms.synthetic import NoiseModel
+
+    workload = build_workload(
+        WorkloadConfig(
+            name="fig9",
+            num_references=num_spectra,
+            num_queries=0,
+            seed=seed,
+            min_length=28,
+            max_length=45,
+            reference_noise=NoiseModel(
+                mz_jitter_sd=0.002,
+                intensity_jitter_sd=0.05,
+                dropout_probability=0.0,
+                noise_peaks=130,
+                noise_intensity_fraction=0.08,
+            ),
+        )
+    )
+    vectors = []
+    for spectrum in workload.references:
+        processed = preprocess(spectrum)
+        if processed is not None:
+            vectors.append(vectorize(processed, binning))
+    rows = []
+    base_crossbar = CrossbarConfig()
+    for active in activated_rows:
+        row = [active]
+        for bits in (1, 2, 3):
+            space = HDSpace(
+                HDSpaceConfig(
+                    dim=dim,
+                    num_bins=binning.num_bins,
+                    num_levels=16,
+                    id_precision_bits=bits,
+                    chunked=True,
+                    seed=seed + bits,
+                )
+            )
+            exact = SpectrumEncoder(space, binning)
+            config = AcceleratorConfig(
+                crossbar=_crossbar_config(active, base_crossbar),
+                device=device_config or DeviceConfig(),
+                seed=seed + 13 * bits + active,
+            )
+            encoder = InMemoryEncoder(exact, config)
+            row.append(
+                round(encoder.encoding_bit_error_rate(vectors) * 100, 2)
+            )
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id="fig9a",
+        title="Errors from encoding (%) vs. number of activated rows",
+        headers=["activated_rows", "1_bit_per_cell", "2_bits_per_cell", "3_bits_per_cell"],
+        rows=rows,
+        notes={"paper_shape": "grows with rows and bits/cell, up to ~40%"},
+    )
+
+
+def run_fig9_search(
+    activated_rows: Sequence[int] = (16, 32, 48, 64, 96, 128),
+    num_outputs: int = 64,
+    num_mvms: int = 25,
+    device_config: Optional[DeviceConfig] = None,
+    seed: int = 99,
+) -> ExperimentResult:
+    """Sub-figure (b): search output NRMSE vs. activated rows."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    base_crossbar = CrossbarConfig(cols=num_outputs)
+    for active in activated_rows:
+        row = [active]
+        for bits in (1, 2, 3):
+            alphabet = _WEIGHT_ALPHABETS[bits]
+            config = _crossbar_config(active, base_crossbar)
+            array = CrossbarArray(
+                config,
+                device=None,
+                seed=seed + 7 * bits + active,
+            )
+            if device_config is not None:
+                from ..rram.device import RRAMDeviceModel
+
+                array = CrossbarArray(
+                    config,
+                    device=RRAMDeviceModel(device_config, seed=seed + bits),
+                    seed=seed + 7 * bits + active,
+                )
+            weights = rng.choice(alphabet, size=(active, num_outputs)).astype(
+                np.float64
+            )
+            array.program(weights, w_max=float(np.abs(alphabet).max()))
+            errors = []
+            for _ in range(num_mvms):
+                inputs = rng.choice([-1.0, 1.0], size=active)
+                errors.append(
+                    normalized_rmse(array.mvm_exact(inputs), array.mvm(inputs))
+                )
+            row.append(round(float(np.mean(errors)), 4))
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id="fig9b",
+        title="Errors from search (NRMSE) vs. number of activated rows",
+        headers=["activated_rows", "1_bit_per_cell", "2_bits_per_cell", "3_bits_per_cell"],
+        rows=rows,
+        notes={
+            "paper_shape": "NRMSE 0.02-0.12, grows with rows and bits/cell",
+            "paper_operating_point": "64 rows with 8-level cells (16x over prior MLC macro)",
+        },
+    )

@@ -1,0 +1,69 @@
+"""Plain-text rendering of experiment results.
+
+Every experiment module returns an :class:`ExperimentResult`; this
+module renders it as the same rows/series the paper's tables and
+figures report, so benchmark output can be eyeballed against the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+
+def format_cell(value: Any) -> str:
+    """Human-friendly cell formatting (bulky containers summarised)."""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    if isinstance(value, (dict, list, tuple)) and len(value) > 8:
+        return f"<{type(value).__name__} with {len(value)} entries>"
+    return str(value)
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]
+) -> str:
+    """Render an aligned monospace table with a title rule."""
+    text_rows = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure: tabular data plus free-form notes."""
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[Any]]
+    notes: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """The paper-comparable text block."""
+        body = format_table(f"[{self.experiment_id}] {self.title}", self.headers, self.rows)
+        if self.notes:
+            note_lines = [
+                f"  {key}: {format_cell(value)}" for key, value in self.notes.items()
+            ]
+            body += "\n" + "\n".join(note_lines)
+        return body
+
+    def column(self, header: str) -> List[Any]:
+        """Extract one column by header name (for assertions in benches)."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]

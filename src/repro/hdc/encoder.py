@@ -1,0 +1,105 @@
+"""ID-Level spectrum encoding (paper Eq. 1).
+
+``h = Sign( sum_{i in S} ID_i ⊗ LV_i )`` — for each retained peak, the
+m/z-bin ID hypervector is bound (element-wise product) to the level
+hypervector of its quantised intensity; the bound pairs are bundled
+(summed) and binarised.  Ties at exactly zero are broken by the space's
+fixed tiebreak vector so encoding is a pure function of (space,
+spectrum).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..ms.spectrum import Spectrum
+from ..ms.vectorize import BinningConfig, SparseVector, quantize_intensities, vectorize
+from .spaces import HDSpace
+
+
+def sign_with_tiebreak(
+    accumulator: np.ndarray, tiebreak: np.ndarray
+) -> np.ndarray:
+    """Binarise an accumulator to {-1, +1} int8, zeros -> tiebreak."""
+    result = np.sign(accumulator).astype(np.int8)
+    zero = result == 0
+    if zero.any():
+        result[zero] = tiebreak[zero] if accumulator.ndim == 1 else np.broadcast_to(
+            tiebreak, accumulator.shape
+        )[zero]
+    return result
+
+
+class SpectrumEncoder:
+    """Encode binned spectra into bipolar hypervectors.
+
+    Parameters
+    ----------
+    space:
+        The :class:`HDSpace` providing ID/level codebooks.  Its
+        ``num_bins`` must match ``binning.num_bins``.
+    binning:
+        m/z binning configuration used to vectorise raw spectra.
+    """
+
+    def __init__(self, space: HDSpace, binning: BinningConfig) -> None:
+        if space.config.num_bins != binning.num_bins:
+            raise ValueError(
+                f"space has {space.config.num_bins} bins but binning "
+                f"produces {binning.num_bins}"
+            )
+        self.space = space
+        self.binning = binning
+
+    def accumulate(self, vector: SparseVector) -> np.ndarray:
+        """The pre-sign accumulator of Eq. 1 as an int32 vector.
+
+        Exposed separately because the RRAM encoder reproduces exactly
+        this quantity in analog and we compare against it in tests.
+        """
+        dim = self.space.dim
+        if len(vector) == 0:
+            return np.zeros(dim, dtype=np.int32)
+        levels, _scale = quantize_intensities(
+            vector.values, self.space.num_levels
+        )
+        ids = self.space.id_matrix(vector.indices.tolist()).astype(np.int32)
+        level_vectors = self.space.level_vectors[levels].astype(np.int32)
+        return np.einsum("pd,pd->d", ids, level_vectors, optimize=True)
+
+    def encode_vector(self, vector: SparseVector) -> np.ndarray:
+        """Encode one sparse binned vector into a bipolar hypervector."""
+        accumulator = self.accumulate(vector)
+        return sign_with_tiebreak(accumulator, self.space.tiebreak)
+
+    def encode(self, spectrum: Spectrum) -> np.ndarray:
+        """Encode one (already preprocessed) spectrum."""
+        return self.encode_vector(vectorize(spectrum, self.binning))
+
+    def encode_batch(
+        self, spectra: Sequence[Union[Spectrum, SparseVector]]
+    ) -> np.ndarray:
+        """Encode many spectra into an ``(n, dim)`` int8 matrix."""
+        out = np.empty((len(spectra), self.space.dim), dtype=np.int8)
+        for row, item in enumerate(spectra):
+            if isinstance(item, SparseVector):
+                out[row] = self.encode_vector(item)
+            else:
+                out[row] = self.encode(item)
+        return out
+
+    def peak_operands(self, vector: SparseVector):
+        """The (ID matrix, level indices) pair for one spectrum.
+
+        This is the exact operand layout the in-memory encoder maps onto
+        the crossbar: ID rows are the stored weights, level indices pick
+        the input chunk patterns.  Returned as ``(ids int8 (p, dim),
+        levels int64 (p,))``.
+        """
+        levels, _scale = quantize_intensities(
+            vector.values, self.space.num_levels
+        )
+        ids = self.space.id_matrix(vector.indices.tolist())
+        return ids, levels

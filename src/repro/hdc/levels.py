@@ -1,0 +1,149 @@
+"""Level-hypervector construction (paper Sections 3.2 and 4.2.1).
+
+Two schemes are provided:
+
+* :func:`flip_levels` — the classic construction: ``l_0`` is a random
+  bipolar vector and each subsequent ``l_j`` flips ``D/(2Q)`` *fresh*
+  positions of ``l_{j-1}``, so similarity decreases monotonically with
+  level distance and ``l_0``/``l_{Q-1}`` differ in about half their
+  positions.
+
+* :func:`chunked_levels` — the paper's hardware-friendly variant
+  (Section 4.2.1): the ``D`` dimensions are split into ``C`` chunks with
+  all bits inside a chunk identical, and levels flip whole chunks.  This
+  is what turns the element-wise encoding MAC into an MVM: the array can
+  be driven chunk-by-chunk instead of bit-by-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _random_bipolar(rng: np.random.Generator, size: int) -> np.ndarray:
+    """Uniform random vector over {-1, +1} as int8."""
+    return (rng.integers(0, 2, size=size, dtype=np.int8) * 2 - 1).astype(np.int8)
+
+
+def flip_levels(
+    dim: int, num_levels: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Build a ``(num_levels, dim)`` int8 matrix of correlated levels.
+
+    A single random permutation of the dimensions defines the flip
+    schedule; level ``j`` flips the ``j``-th block of ``dim // (2 *
+    num_levels)`` positions of level ``j-1``.  Using fresh positions per
+    step makes level similarity an exact linear function of level
+    distance (up to integer truncation of the block size).
+    """
+    if num_levels < 2:
+        raise ValueError(f"num_levels must be >= 2, got {num_levels}")
+    if dim < 2 * num_levels:
+        raise ValueError(
+            f"dim ({dim}) must be >= 2 * num_levels ({2 * num_levels}) so "
+            "each level can flip at least one position"
+        )
+    block = dim // (2 * num_levels)
+    schedule = rng.permutation(dim)
+    levels = np.empty((num_levels, dim), dtype=np.int8)
+    levels[0] = _random_bipolar(rng, dim)
+    for j in range(1, num_levels):
+        levels[j] = levels[j - 1]
+        flip = schedule[(j - 1) * block : j * block]
+        levels[j, flip] = -levels[j, flip]
+    return levels
+
+
+@dataclass(frozen=True)
+class ChunkedLevels:
+    """Chunk-structured level hypervectors.
+
+    ``chunk_values`` has shape ``(num_levels, num_chunks)`` with entries
+    in {-1, +1}; ``expanded`` is the materialised ``(num_levels, dim)``
+    matrix obtained by repeating each chunk value over its chunk.  The
+    in-memory encoder feeds ``chunk_values`` (one input element per
+    chunk), which is the whole point of the scheme.
+    """
+
+    chunk_values: np.ndarray
+    dim: int
+
+    @property
+    def num_levels(self) -> int:
+        return self.chunk_values.shape[0]
+
+    @property
+    def num_chunks(self) -> int:
+        return self.chunk_values.shape[1]
+
+    @property
+    def chunk_size(self) -> int:
+        """Dimensions per chunk (the last chunk absorbs the remainder)."""
+        return self.dim // self.num_chunks
+
+    def chunk_slices(self) -> list:
+        """Half-open dimension ranges of each chunk."""
+        base = self.dim // self.num_chunks
+        remainder = self.dim % self.num_chunks
+        slices = []
+        start = 0
+        for c in range(self.num_chunks):
+            width = base + (1 if c < remainder else 0)
+            slices.append(slice(start, start + width))
+            start += width
+        return slices
+
+    def expand(self) -> np.ndarray:
+        """Materialise the full ``(num_levels, dim)`` int8 matrix."""
+        expanded = np.empty((self.num_levels, self.dim), dtype=np.int8)
+        for c, sl in enumerate(self.chunk_slices()):
+            expanded[:, sl] = self.chunk_values[:, c : c + 1]
+        return expanded
+
+
+def chunked_levels(
+    dim: int,
+    num_levels: int,
+    num_chunks: int,
+    rng: np.random.Generator,
+) -> ChunkedLevels:
+    """Build chunk-structured levels (paper Section 4.2.1).
+
+    Level ``j`` flips ``num_chunks // (2 * num_levels)`` (at least one)
+    fresh chunks of level ``j-1``, mirroring :func:`flip_levels` at chunk
+    granularity.  ``num_chunks`` must satisfy
+    ``(num_levels - 1) * block <= num_chunks`` which always holds for the
+    computed block size.
+    """
+    if num_levels < 2:
+        raise ValueError(f"num_levels must be >= 2, got {num_levels}")
+    if num_chunks < num_levels:
+        raise ValueError(
+            f"num_chunks ({num_chunks}) must be >= num_levels "
+            f"({num_levels}) so each level can flip a fresh chunk"
+        )
+    if dim < num_chunks:
+        raise ValueError(f"dim ({dim}) must be >= num_chunks ({num_chunks})")
+    block = max(1, num_chunks // (2 * num_levels))
+    # Never run past the end of the flip schedule.
+    block = min(block, max(1, (num_chunks - 1) // (num_levels - 1)))
+    schedule = rng.permutation(num_chunks)
+    values = np.empty((num_levels, num_chunks), dtype=np.int8)
+    values[0] = _random_bipolar(rng, num_chunks)
+    for j in range(1, num_levels):
+        values[j] = values[j - 1]
+        flip = schedule[(j - 1) * block : j * block]
+        values[j, flip] = -values[j, flip]
+    return ChunkedLevels(chunk_values=values, dim=dim)
+
+
+def level_similarity_profile(levels: np.ndarray) -> np.ndarray:
+    """Normalised similarity of every level to level 0.
+
+    Returns ``sim[j] = <l_0, l_j> / dim`` — handy for tests asserting the
+    monotone-decreasing similarity structure both schemes guarantee.
+    """
+    reference = levels[0].astype(np.int32)
+    return (levels.astype(np.int32) @ reference) / levels.shape[1]

@@ -1,0 +1,98 @@
+"""Bit packing and MLC cell packing for hypervector storage.
+
+Two layouts are needed:
+
+* *packed bits* — one bit per dimension (+1 -> 1, -1 -> 0) in uint8
+  words, used by the digital XOR/popcount search path;
+* *cell groups* (paper Section 4.3) — the D-bit hypervector reshaped
+  into ``D/n`` unsigned ``n``-bit integers (n = 1, 2, 3 bits per cell),
+  which are then mapped to MLC RRAM conductances
+  ``g = h' / h'_max * g_max``.
+
+When ``D`` is not divisible by ``n`` the tail is zero-padded; the
+original dimension is passed back in when unpacking so the pad is
+dropped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_POPCOUNT_TABLE = np.array(
+    [bin(value).count("1") for value in range(256)], dtype=np.uint8
+)
+
+
+def popcount(words: np.ndarray) -> np.ndarray:
+    """Per-element population count of a uint8 array (any shape)."""
+    return _POPCOUNT_TABLE[words].astype(np.int64)
+
+
+def pack_bipolar(vectors: np.ndarray) -> np.ndarray:
+    """Pack bipolar {-1,+1} rows into uint8 words (+1 -> bit 1).
+
+    Accepts ``(D,)`` or ``(n, D)``; returns uint8 with the last axis
+    packed (``ceil(D/8)`` words).
+    """
+    bits = (np.asarray(vectors) > 0).astype(np.uint8)
+    return np.packbits(bits, axis=-1)
+
+
+def unpack_bipolar(packed: np.ndarray, dim: int) -> np.ndarray:
+    """Invert :func:`pack_bipolar`; ``dim`` trims the bit padding."""
+    bits = np.unpackbits(packed, axis=-1)[..., :dim]
+    return (bits.astype(np.int8) * 2 - 1).astype(np.int8)
+
+
+def bipolar_to_bits(vectors: np.ndarray) -> np.ndarray:
+    """Map {-1,+1} -> {0,1} uint8 (elementwise, any shape)."""
+    return (np.asarray(vectors) > 0).astype(np.uint8)
+
+
+def bits_to_bipolar(bits: np.ndarray) -> np.ndarray:
+    """Map {0,1} -> {-1,+1} int8 (elementwise, any shape)."""
+    return (np.asarray(bits).astype(np.int8) * 2 - 1).astype(np.int8)
+
+
+def pack_cells(vectors: np.ndarray, bits_per_cell: int) -> np.ndarray:
+    """Reshape bipolar hypervectors into n-bit cell values (Section 4.3).
+
+    Consecutive groups of ``bits_per_cell`` bits become one unsigned
+    integer in ``[0, 2**bits_per_cell)``; the first bit in a group is the
+    most significant.  Accepts ``(D,)`` or ``(rows, D)`` input and
+    returns ``(ceil(D/n),)`` or ``(rows, ceil(D/n))`` uint8.
+    """
+    if bits_per_cell not in (1, 2, 3):
+        raise ValueError(f"bits_per_cell must be 1, 2 or 3, got {bits_per_cell}")
+    single = np.asarray(vectors).ndim == 1
+    bits = np.atleast_2d(bipolar_to_bits(vectors))
+    rows, dim = bits.shape
+    padded = -(-dim // bits_per_cell) * bits_per_cell
+    if padded != dim:
+        bits = np.concatenate(
+            [bits, np.zeros((rows, padded - dim), dtype=np.uint8)], axis=1
+        )
+    grouped = bits.reshape(rows, padded // bits_per_cell, bits_per_cell)
+    weights = (1 << np.arange(bits_per_cell - 1, -1, -1)).astype(np.uint8)
+    cells = (grouped * weights).sum(axis=2).astype(np.uint8)
+    return cells[0] if single else cells
+
+
+def unpack_cells(
+    cells: np.ndarray, bits_per_cell: int, dim: int
+) -> np.ndarray:
+    """Invert :func:`pack_cells` back to bipolar hypervectors."""
+    if bits_per_cell not in (1, 2, 3):
+        raise ValueError(f"bits_per_cell must be 1, 2 or 3, got {bits_per_cell}")
+    single = np.asarray(cells).ndim == 1
+    values = np.atleast_2d(np.asarray(cells, dtype=np.uint8))
+    shifts = np.arange(bits_per_cell - 1, -1, -1, dtype=np.uint8)
+    bits = (values[..., np.newaxis] >> shifts) & 1
+    flat = bits.reshape(values.shape[0], -1)[:, :dim]
+    bipolar = bits_to_bipolar(flat)
+    return bipolar[0] if single else bipolar
+
+
+def cells_per_hypervector(dim: int, bits_per_cell: int) -> int:
+    """Number of MLC cells needed to store one D-bit hypervector."""
+    return -(-dim // bits_per_cell)

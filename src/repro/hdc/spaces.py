@@ -1,0 +1,149 @@
+"""HDSpace: the seeded universe of ID and level hypervectors.
+
+An :class:`HDSpace` owns every random codebook the encoder needs:
+
+* one *ID* hypervector per m/z bin (paper Section 3.2), at 1-, 2- or
+  3-bit precision (Section 4.2.2's multi-bit scheme: entries drawn from
+  a sign-symmetric set excluding zero, e.g. {-4..-1, 1..4} at 3 bits);
+* ``Q`` correlated *level* hypervectors for quantised intensities,
+  either the classic flip construction or the hardware-friendly chunked
+  one (Section 4.2.1);
+* a fixed tiebreak vector so the ``sign`` in Eq. 1 is deterministic.
+
+ID vectors are generated lazily per bin from a counter-based seed and
+cached, so a space over 14k bins at D=8192 only materialises the rows a
+workload actually touches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from .levels import ChunkedLevels, chunked_levels, flip_levels
+
+#: Allowed ID precisions and the magnitude range they imply.
+_ID_MAGNITUDES = {1: 1, 2: 2, 3: 4}
+
+
+@dataclass(frozen=True)
+class HDSpaceConfig:
+    """Configuration of a hyperdimensional space.
+
+    ``dim`` is the hypervector dimension D (paper default 8192);
+    ``num_bins`` the m/z codebook size; ``num_levels`` the intensity
+    quantisation Q (paper: 16-32); ``id_precision_bits`` in {1, 2, 3}
+    (Section 4.2.2); ``chunked`` selects the chunked level scheme with
+    ``num_chunks`` chunks (default ``4 * num_levels``).
+    """
+
+    dim: int = 8192
+    num_bins: int = 1400
+    num_levels: int = 32
+    id_precision_bits: int = 3
+    chunked: bool = True
+    num_chunks: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dim < 4:
+            raise ValueError(f"dim must be >= 4, got {self.dim}")
+        if self.num_bins < 1:
+            raise ValueError("num_bins must be >= 1")
+        if self.num_levels < 2:
+            raise ValueError("num_levels must be >= 2")
+        if self.id_precision_bits not in _ID_MAGNITUDES:
+            raise ValueError(
+                f"id_precision_bits must be one of {sorted(_ID_MAGNITUDES)}, "
+                f"got {self.id_precision_bits}"
+            )
+
+    @property
+    def resolved_num_chunks(self) -> int:
+        """The chunk count actually used when ``chunked`` is enabled."""
+        if self.num_chunks is not None:
+            return self.num_chunks
+        return min(self.dim, 4 * self.num_levels)
+
+
+class HDSpace:
+    """Materialised hypervector codebooks for one configuration."""
+
+    def __init__(self, config: HDSpaceConfig) -> None:
+        self.config = config
+        root = np.random.default_rng(config.seed)
+        # Independent child seeds for each codebook so changing one knob
+        # (e.g. num_levels) does not reshuffle the others.
+        self._id_seed = int(root.integers(0, 2**63))
+        level_rng = np.random.default_rng(int(root.integers(0, 2**63)))
+        tiebreak_rng = np.random.default_rng(int(root.integers(0, 2**63)))
+
+        self.chunked_levels: Optional[ChunkedLevels] = None
+        if config.chunked:
+            self.chunked_levels = chunked_levels(
+                config.dim,
+                config.num_levels,
+                config.resolved_num_chunks,
+                level_rng,
+            )
+            self.level_vectors = self.chunked_levels.expand()
+        else:
+            self.level_vectors = flip_levels(
+                config.dim, config.num_levels, level_rng
+            )
+        #: ±1 vector used to break ties when the Eq. 1 accumulator is 0.
+        self.tiebreak = (
+            tiebreak_rng.integers(0, 2, size=config.dim, dtype=np.int8) * 2 - 1
+        ).astype(np.int8)
+        self._id_cache: Dict[int, np.ndarray] = {}
+
+    @property
+    def dim(self) -> int:
+        return self.config.dim
+
+    @property
+    def num_levels(self) -> int:
+        return self.config.num_levels
+
+    def _make_id(self, bin_index: int) -> np.ndarray:
+        """Deterministically generate the ID hypervector of one bin."""
+        rng = np.random.default_rng((self._id_seed, bin_index))
+        magnitude = _ID_MAGNITUDES[self.config.id_precision_bits]
+        values = rng.integers(1, magnitude + 1, size=self.config.dim)
+        signs = rng.integers(0, 2, size=self.config.dim) * 2 - 1
+        return (values * signs).astype(np.int8)
+
+    def id_vector(self, bin_index: int) -> np.ndarray:
+        """ID hypervector for *bin_index* (cached, read-only)."""
+        if not 0 <= bin_index < self.config.num_bins:
+            raise IndexError(
+                f"bin_index {bin_index} outside [0, {self.config.num_bins})"
+            )
+        cached = self._id_cache.get(bin_index)
+        if cached is None:
+            cached = self._make_id(bin_index)
+            cached.setflags(write=False)
+            self._id_cache[bin_index] = cached
+        return cached
+
+    def id_matrix(self, bin_indices: Iterable[int]) -> np.ndarray:
+        """Stack ID hypervectors for several bins into ``(n, dim)`` int8."""
+        indices = list(bin_indices)
+        matrix = np.empty((len(indices), self.config.dim), dtype=np.int8)
+        for row, bin_index in enumerate(indices):
+            matrix[row] = self.id_vector(bin_index)
+        return matrix
+
+    def level_vector(self, level: int) -> np.ndarray:
+        """Level hypervector for quantised intensity *level*."""
+        if not 0 <= level < self.config.num_levels:
+            raise IndexError(
+                f"level {level} outside [0, {self.config.num_levels})"
+            )
+        return self.level_vectors[level]
+
+    def cache_size(self) -> int:
+        """Number of ID vectors generated so far (for memory accounting)."""
+        return len(self._id_cache)

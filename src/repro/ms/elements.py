@@ -1,0 +1,67 @@
+"""Monoisotopic masses for the 20 proteinogenic amino-acid residues.
+
+The residue mass is the mass of the amino acid minus one water; summing
+residue masses and adding one water yields the neutral peptide mass.
+Values are the standard monoisotopic masses used across proteomics
+software (e.g. pyteomics, spectrum_utils).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Monoisotopic residue masses (Da), keyed by one-letter amino-acid code.
+RESIDUE_MASSES: Dict[str, float] = {
+    "G": 57.02146,
+    "A": 71.03711,
+    "S": 87.03203,
+    "P": 97.05276,
+    "V": 99.06841,
+    "T": 101.04768,
+    "C": 103.00919,
+    "L": 113.08406,
+    "I": 113.08406,
+    "N": 114.04293,
+    "D": 115.02694,
+    "Q": 128.05858,
+    "K": 128.09496,
+    "E": 129.04259,
+    "M": 131.04049,
+    "H": 137.05891,
+    "F": 147.06841,
+    "R": 156.10111,
+    "Y": 163.06333,
+    "W": 186.07931,
+}
+
+#: The canonical amino-acid alphabet, sorted for deterministic iteration.
+AMINO_ACIDS: str = "".join(sorted(RESIDUE_MASSES))
+
+#: Approximate natural abundance of each amino acid in the human proteome
+#: (UniProt statistics, normalised).  Used by the synthetic peptide
+#: sampler so generated libraries have realistic composition.
+NATURAL_FREQUENCIES: Dict[str, float] = {
+    "A": 0.0702, "R": 0.0564, "N": 0.0359, "D": 0.0473, "C": 0.0230,
+    "Q": 0.0477, "E": 0.0710, "G": 0.0657, "H": 0.0263, "I": 0.0433,
+    "L": 0.0996, "K": 0.0572, "M": 0.0213, "F": 0.0365, "P": 0.0631,
+    "S": 0.0833, "T": 0.0536, "W": 0.0122, "Y": 0.0267, "V": 0.0597,
+}
+
+
+def residue_mass(residue: str) -> float:
+    """Return the monoisotopic residue mass for a one-letter code.
+
+    Raises ``KeyError`` with a helpful message for unknown residues.
+    """
+    try:
+        return RESIDUE_MASSES[residue]
+    except KeyError:
+        raise KeyError(
+            f"unknown amino-acid residue {residue!r}; "
+            f"expected one of {AMINO_ACIDS}"
+        ) from None
+
+
+def is_valid_sequence(sequence: str) -> bool:
+    """Return True if *sequence* contains only known one-letter codes."""
+    return bool(sequence) and all(aa in RESIDUE_MASSES for aa in sequence)

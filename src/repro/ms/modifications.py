@@ -1,0 +1,122 @@
+"""Post-translational modifications (PTMs) used by the synthetic workload.
+
+Open modification search exists precisely because reference libraries
+hold *unmodified* peptides while measured spectra frequently carry PTMs
+that shift the precursor mass (and the masses of every fragment that
+contains the modified residue).  This module provides a Unimod-like
+subset of common modifications with their monoisotopic mass deltas and
+residue specificities, plus helpers for sampling them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ModificationType:
+    """A kind of modification: a name, a mass delta, and target residues.
+
+    ``targets`` is a string of one-letter residue codes the modification
+    can attach to; the empty string means "any residue" (e.g. generic
+    N-terminal modifications are modelled as position-0 any-residue).
+    """
+
+    name: str
+    mass_delta: float
+    targets: str = ""
+
+    def applies_to(self, residue: str) -> bool:
+        """Return True if this modification can sit on *residue*."""
+        return not self.targets or residue in self.targets
+
+
+#: Common modifications with Unimod monoisotopic deltas.  The selection
+#: mirrors the frequent mass shifts reported by mass-tolerant searches
+#: (Chick et al. 2015), which the paper's HEK293 evaluation relies on.
+COMMON_MODIFICATIONS: Tuple[ModificationType, ...] = (
+    ModificationType("Oxidation", 15.994915, "MW"),
+    ModificationType("Carbamidomethyl", 57.021464, "C"),
+    ModificationType("Phospho", 79.966331, "STY"),
+    ModificationType("Acetyl", 42.010565, "K"),
+    ModificationType("Methyl", 14.015650, "KR"),
+    ModificationType("Dimethyl", 28.031300, "KR"),
+    ModificationType("Trimethyl", 42.046950, "K"),
+    ModificationType("Deamidation", 0.984016, "NQ"),
+    ModificationType("GlyGly", 114.042927, "K"),
+    ModificationType("Formyl", 27.994915, "K"),
+    ModificationType("Succinyl", 100.016044, "K"),
+    ModificationType("Malonyl", 86.000394, "K"),
+    ModificationType("Propionamide", 71.037114, "C"),
+    ModificationType("Carbamyl", 43.005814, "K"),
+    ModificationType("Nitro", 44.985078, "YW"),
+)
+
+#: Fast lookup of a modification type by name.
+MODIFICATIONS_BY_NAME: Dict[str, ModificationType] = {
+    mod.name: mod for mod in COMMON_MODIFICATIONS
+}
+
+
+@dataclass(frozen=True)
+class Modification:
+    """A concrete modification instance placed on a peptide.
+
+    ``position`` is the 0-based residue index within the peptide
+    sequence.  ``mass_delta`` is copied from the modification type so a
+    placed modification is self-contained (no registry lookups needed
+    when computing fragment masses).
+    """
+
+    name: str
+    position: int
+    mass_delta: float
+
+    def __post_init__(self) -> None:
+        if self.position < 0:
+            raise ValueError(f"modification position must be >= 0, got {self.position}")
+
+
+@dataclass
+class ModificationSampler:
+    """Randomly place modifications on peptide sequences.
+
+    Parameters
+    ----------
+    modifications:
+        The pool of modification types to draw from.  Defaults to
+        :data:`COMMON_MODIFICATIONS`.
+    rng:
+        A seeded ``random.Random`` for reproducibility.
+    """
+
+    modifications: Sequence[ModificationType] = COMMON_MODIFICATIONS
+    rng: random.Random = field(default_factory=random.Random)
+
+    def eligible_sites(
+        self, sequence: str, modification: ModificationType
+    ) -> List[int]:
+        """Return all 0-based positions where *modification* may attach."""
+        return [
+            index
+            for index, residue in enumerate(sequence)
+            if modification.applies_to(residue)
+        ]
+
+    def sample(self, sequence: str) -> Optional[Modification]:
+        """Sample one valid modification for *sequence*, or None.
+
+        A modification type is drawn uniformly; if the sequence has no
+        eligible site for it, another type is tried.  Returns None only
+        when no modification in the pool fits the sequence at all.
+        """
+        candidates = list(self.modifications)
+        self.rng.shuffle(candidates)
+        for modification in candidates:
+            sites = self.eligible_sites(sequence, modification)
+            if sites:
+                position = self.rng.choice(sites)
+                return Modification(modification.name, position, modification.mass_delta)
+        return None

@@ -1,0 +1,154 @@
+"""NIST MSP spectral-library reader and writer.
+
+Reference libraries (the paper's human HCD / yeast libraries) ship as
+MSP text.  This codec covers the subset the pipeline needs: Name,
+MW / PrecursorMZ, Charge (possibly embedded in Name as ``SEQ/2``),
+Comment flags (decoy detection), and the peak table.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, TextIO, Union
+
+import numpy as np
+
+from .elements import is_valid_sequence
+from .peptide import Peptide
+from .spectrum import Spectrum
+
+PathLike = Union[str, Path]
+
+
+class MspFormatError(ValueError):
+    """Raised when an MSP file violates the expected structure."""
+
+
+def _parse_decoy_flag(comment: str, name: str) -> bool:
+    """Decide whether an entry is a decoy.
+
+    Recognises explicit ``Decoy=true/false`` key-value pairs in the
+    Comment field (case-insensitive); otherwise falls back to the
+    common ``DECOY_``-prefixed naming convention.  A bare ``Decoy=false``
+    must NOT be treated as a decoy.
+    """
+    for token in comment.replace(",", " ").split():
+        key, _, value = token.partition("=")
+        if key.strip().upper() == "DECOY":
+            return value.strip().lower() in ("true", "1", "yes")
+    upper_name = name.upper()
+    return upper_name.startswith("DECOY_") or upper_name.startswith("DECOY-")
+
+
+def _finalise(
+    headers: Dict[str, str], peaks: List[List[float]], index: int
+) -> Spectrum:
+    name = headers.get("NAME", f"library_{index}")
+    sequence, charge = name, 2
+    if "/" in name:
+        sequence, _, charge_text = name.rpartition("/")
+        if charge_text.isdigit():
+            charge = int(charge_text)
+    if "CHARGE" in headers:
+        charge = int(headers["CHARGE"])
+    if "PRECURSORMZ" in headers:
+        precursor_mz = float(headers["PRECURSORMZ"])
+    elif "MW" in headers:
+        # MW is the neutral mass; convert to m/z at the parsed charge.
+        from ..constants import PROTON_MASS
+
+        precursor_mz = (float(headers["MW"]) + charge * PROTON_MASS) / charge
+    else:
+        raise MspFormatError(f"entry {name!r} has neither PrecursorMZ nor MW")
+    comment = headers.get("COMMENT", "")
+    is_decoy = _parse_decoy_flag(comment, name)
+    peptide = Peptide(sequence) if is_valid_sequence(sequence) else None
+    peak_array = (
+        np.asarray(peaks, dtype=np.float64)
+        if peaks
+        else np.empty((0, 2), dtype=np.float64)
+    )
+    return Spectrum(
+        identifier=name,
+        precursor_mz=precursor_mz,
+        precursor_charge=charge,
+        mz=peak_array[:, 0] if len(peak_array) else np.empty(0),
+        intensity=peak_array[:, 1] if len(peak_array) else np.empty(0),
+        peptide=peptide,
+        is_decoy=is_decoy,
+    )
+
+
+def read_msp(source: Union[PathLike, TextIO]) -> Iterator[Spectrum]:
+    """Yield :class:`Spectrum` objects from an MSP library."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            yield from read_msp(handle)
+        return
+
+    headers: Dict[str, str] = {}
+    peaks: List[List[float]] = []
+    expected_peaks = -1
+    index = 0
+    in_entry = False
+
+    def flush() -> Iterator[Spectrum]:
+        nonlocal headers, peaks, expected_peaks, index, in_entry
+        if in_entry:
+            if expected_peaks >= 0 and len(peaks) != expected_peaks:
+                raise MspFormatError(
+                    f"entry #{index}: expected {expected_peaks} peaks, "
+                    f"got {len(peaks)}"
+                )
+            yield _finalise(headers, peaks, index)
+            index += 1
+        headers, peaks, expected_peaks, in_entry = {}, [], -1, False
+
+    for raw_line in source:
+        line = raw_line.strip()
+        if not line:
+            yield from flush()
+            continue
+        if line[0].isdigit() or line[0] == "-":
+            fields = line.replace("\t", " ").split()
+            if len(fields) < 2:
+                raise MspFormatError(f"malformed peak line: {line!r}")
+            peaks.append([float(fields[0]), float(fields[1])])
+        else:
+            key, _, value = line.partition(":")
+            key_upper = key.strip().upper().replace(" ", "")
+            if key_upper == "NAME":
+                yield from flush()
+                in_entry = True
+            if key_upper == "NUMPEAKS":
+                expected_peaks = int(value.strip())
+            headers[key_upper] = value.strip()
+            in_entry = True
+    yield from flush()
+
+
+def write_msp(
+    spectra: Iterable[Spectrum], destination: Union[PathLike, TextIO]
+) -> int:
+    """Write spectra as an MSP library; returns the entry count."""
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            return write_msp(spectra, handle)
+
+    count = 0
+    for spectrum in spectra:
+        if spectrum.peptide is not None:
+            name = f"{spectrum.peptide.sequence}/{spectrum.precursor_charge}"
+        else:
+            name = spectrum.identifier
+        destination.write(f"Name: {name}\n")
+        destination.write(f"PrecursorMZ: {spectrum.precursor_mz:.6f}\n")
+        destination.write(f"Charge: {spectrum.precursor_charge}\n")
+        comment = "Decoy=true" if spectrum.is_decoy else "Decoy=false"
+        destination.write(f"Comment: {comment} Id={spectrum.identifier}\n")
+        destination.write(f"Num peaks: {len(spectrum)}\n")
+        for mz, intensity in zip(spectrum.mz, spectrum.intensity):
+            destination.write(f"{mz:.5f}\t{intensity:.6g}\n")
+        destination.write("\n")
+        count += 1
+    return count

@@ -1,0 +1,159 @@
+"""Peptide model: neutral mass, precursor m/z, and b/y fragment ions.
+
+Only what OMS needs is implemented — singly and doubly charged b/y ions
+with optional modifications.  A fragment that contains the modified
+residue carries the modification's mass delta; this is the physical
+mechanism that lets an open search match a modified query against its
+unmodified reference (roughly half the fragments still align).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from ..constants import PROTON_MASS, WATER_MASS
+from .elements import residue_mass
+from .modifications import Modification
+
+
+@dataclass(frozen=True)
+class Peptide:
+    """An (optionally modified) peptide.
+
+    Parameters
+    ----------
+    sequence:
+        One-letter amino-acid string, N- to C-terminus.
+    modifications:
+        Concrete modifications placed on this peptide.  Positions are
+        0-based indices into ``sequence``.
+    """
+
+    sequence: str
+    modifications: Tuple[Modification, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.sequence:
+            raise ValueError("peptide sequence must be non-empty")
+        for mod in self.modifications:
+            if mod.position >= len(self.sequence):
+                raise ValueError(
+                    f"modification {mod.name!r} at position {mod.position} "
+                    f"outside peptide of length {len(self.sequence)}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+    @property
+    def is_modified(self) -> bool:
+        """True if the peptide carries at least one modification."""
+        return bool(self.modifications)
+
+    @property
+    def modification_mass(self) -> float:
+        """Total mass delta contributed by all modifications (Da)."""
+        return sum(mod.mass_delta for mod in self.modifications)
+
+    def residue_masses(self) -> np.ndarray:
+        """Per-residue masses including any modification deltas (Da)."""
+        masses = np.array(
+            [residue_mass(aa) for aa in self.sequence], dtype=np.float64
+        )
+        for mod in self.modifications:
+            masses[mod.position] += mod.mass_delta
+        return masses
+
+    @property
+    def neutral_mass(self) -> float:
+        """Monoisotopic neutral mass (Da): residues + one water."""
+        return float(self.residue_masses().sum()) + WATER_MASS
+
+    def precursor_mz(self, charge: int) -> float:
+        """m/z of the [M + charge*H]^charge precursor ion."""
+        if charge < 1:
+            raise ValueError(f"charge must be >= 1, got {charge}")
+        return (self.neutral_mass + charge * PROTON_MASS) / charge
+
+    def fragment_mzs(self, max_fragment_charge: int = 1) -> np.ndarray:
+        """m/z values of all b/y fragment ions, sorted ascending.
+
+        Generates b_i and y_i for i = 1 .. len-1 at fragment charges
+        1 .. ``max_fragment_charge``.  Modifications shift exactly the
+        fragments that contain the modified residue:
+
+        * ``b_i`` covers residues ``0 .. i-1`` — shifted when the
+          modification position is ``< i``;
+        * ``y_i`` covers residues ``len-i .. len-1`` — shifted when the
+          position is ``>= len - i``.
+
+        Both follow automatically from the cumulative-sum construction
+        over per-residue masses that already include the deltas.
+        """
+        if max_fragment_charge < 1:
+            raise ValueError(
+                f"max_fragment_charge must be >= 1, got {max_fragment_charge}"
+            )
+        masses = self.residue_masses()
+        # Neutral fragment masses.  b-ion neutral mass = prefix sum;
+        # y-ion neutral mass = suffix sum + water.
+        prefix = np.cumsum(masses)[:-1]
+        suffix = np.cumsum(masses[::-1])[:-1] + WATER_MASS
+        mzs: List[np.ndarray] = []
+        for charge in range(1, max_fragment_charge + 1):
+            mzs.append((prefix + charge * PROTON_MASS) / charge)
+            mzs.append((suffix + charge * PROTON_MASS) / charge)
+        return np.sort(np.concatenate(mzs))
+
+    def fragment_ions(
+        self, max_fragment_charge: int = 1
+    ) -> List[Tuple[str, int, int, float]]:
+        """Annotated fragments as ``(series, index, charge, mz)`` tuples.
+
+        ``series`` is ``"b"`` or ``"y"``, ``index`` is the 1-based ion
+        index.  Useful for writing annotated MSP libraries and for
+        tests that pin individual ion masses.
+        """
+        masses = self.residue_masses()
+        prefix = np.cumsum(masses)[:-1]
+        suffix = np.cumsum(masses[::-1])[:-1] + WATER_MASS
+        ions: List[Tuple[str, int, int, float]] = []
+        for charge in range(1, max_fragment_charge + 1):
+            for index, neutral in enumerate(prefix, start=1):
+                ions.append(("b", index, charge, (neutral + charge * PROTON_MASS) / charge))
+            for index, neutral in enumerate(suffix, start=1):
+                ions.append(("y", index, charge, (neutral + charge * PROTON_MASS) / charge))
+        ions.sort(key=lambda ion: ion[3])
+        return ions
+
+    def with_modification(self, modification: Modification) -> "Peptide":
+        """Return a copy of this peptide with one more modification."""
+        return Peptide(self.sequence, self.modifications + (modification,))
+
+    def unmodified(self) -> "Peptide":
+        """Return the unmodified form of this peptide."""
+        if not self.modifications:
+            return self
+        return Peptide(self.sequence)
+
+    def proforma(self) -> str:
+        """Render a ProForma-like string, e.g. ``PEPT[Phospho]IDE``."""
+        if not self.modifications:
+            return self.sequence
+        by_position = {mod.position: mod for mod in self.modifications}
+        parts: List[str] = []
+        for index, residue in enumerate(self.sequence):
+            parts.append(residue)
+            if index in by_position:
+                parts.append(f"[{by_position[index].name}]")
+        return "".join(parts)
+
+
+def neutral_mass_from_mz(precursor_mz: float, charge: int) -> float:
+    """Invert :meth:`Peptide.precursor_mz`: neutral mass from m/z."""
+    if charge < 1:
+        raise ValueError(f"charge must be >= 1, got {charge}")
+    return precursor_mz * charge - charge * PROTON_MASS

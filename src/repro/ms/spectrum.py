@@ -1,0 +1,106 @@
+"""Spectrum container shared by every stage of the pipeline.
+
+A :class:`Spectrum` is an immutable-ish record of one MS/MS scan: peak
+m/z and intensity arrays plus precursor information and (for library
+spectra) the generating peptide.  Arrays are kept sorted by m/z and
+validated on construction so downstream code can rely on invariants
+instead of re-checking them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+from .peptide import Peptide, neutral_mass_from_mz
+
+
+@dataclass
+class Spectrum:
+    """One MS/MS spectrum.
+
+    Parameters
+    ----------
+    identifier:
+        Unique string id (scan title for queries, library accession for
+        references).
+    precursor_mz:
+        Measured precursor mass-to-charge ratio.
+    precursor_charge:
+        Precursor charge state (>= 1).
+    mz:
+        Peak m/z values, 1-D float array.  Sorted ascending on
+        construction.
+    intensity:
+        Peak intensities, same length as ``mz``, non-negative.
+    peptide:
+        The annotated peptide for library/ground-truth spectra, or None
+        for unidentified queries.
+    is_decoy:
+        True for decoy library entries used by the FDR filter.
+    """
+
+    identifier: str
+    precursor_mz: float
+    precursor_charge: int
+    mz: np.ndarray
+    intensity: np.ndarray
+    peptide: Optional[Peptide] = None
+    is_decoy: bool = False
+    retention_time: Optional[float] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        self.mz = np.asarray(self.mz, dtype=np.float64)
+        self.intensity = np.asarray(self.intensity, dtype=np.float32)
+        if self.mz.ndim != 1 or self.intensity.ndim != 1:
+            raise ValueError("mz and intensity must be 1-D arrays")
+        if len(self.mz) != len(self.intensity):
+            raise ValueError(
+                f"mz ({len(self.mz)}) and intensity ({len(self.intensity)}) "
+                "must have the same length"
+            )
+        if self.precursor_charge < 1:
+            raise ValueError(f"precursor_charge must be >= 1, got {self.precursor_charge}")
+        if self.precursor_mz <= 0:
+            raise ValueError(f"precursor_mz must be > 0, got {self.precursor_mz}")
+        if len(self.intensity) and float(self.intensity.min()) < 0:
+            raise ValueError("intensities must be non-negative")
+        order = np.argsort(self.mz, kind="stable")
+        if not np.array_equal(order, np.arange(len(order))):
+            self.mz = self.mz[order]
+            self.intensity = self.intensity[order]
+
+    def __len__(self) -> int:
+        return len(self.mz)
+
+    @property
+    def neutral_mass(self) -> float:
+        """Neutral (uncharged) precursor mass in Dalton."""
+        return neutral_mass_from_mz(self.precursor_mz, self.precursor_charge)
+
+    @property
+    def base_peak_intensity(self) -> float:
+        """Intensity of the most intense peak (0.0 for empty spectra)."""
+        return float(self.intensity.max()) if len(self.intensity) else 0.0
+
+    @property
+    def total_ion_current(self) -> float:
+        """Sum of all peak intensities."""
+        return float(self.intensity.sum())
+
+    def copy_with_peaks(self, mz: np.ndarray, intensity: np.ndarray) -> "Spectrum":
+        """Return a copy of this spectrum with replaced peak arrays."""
+        return replace(self, mz=np.asarray(mz), intensity=np.asarray(intensity))
+
+    def peptide_key(self) -> Optional[str]:
+        """Canonical peptide string used to compare identifications.
+
+        Identifications from different tools are compared at the level
+        of the *unmodified* sequence plus charge (open search localises
+        neither the modification nor its identity).
+        """
+        if self.peptide is None:
+            return None
+        return f"{self.peptide.sequence}/{self.precursor_charge}"

@@ -1,0 +1,100 @@
+"""Target-decoy false-discovery-rate estimation (paper Section 3.4).
+
+The library is augmented with decoy spectra; every query's best match is
+then either a target or a decoy.  Sorting PSMs by score, the estimated
+FDR at a score cutoff is ``#decoys / #targets`` above the cutoff, and
+the *q-value* of a PSM is the minimum FDR at which it would be accepted
+(the running FDR made monotone from the bottom).  A grouped variant
+mirrors ANN-SoLo's subgroup FDR, which controls standard (unmodified)
+and open (modified) hits separately.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from .psm import PSM
+
+
+def assign_qvalues(psms: List[PSM]) -> List[PSM]:
+    """Assign q-values in place; returns the list sorted by score desc.
+
+    Decoy PSMs receive q-values too (they are excluded at acceptance
+    time, not here).  Ties in score are processed in input order, which
+    keeps the procedure deterministic.
+    """
+    ordered = sorted(psms, key=lambda psm: -psm.score)
+    num_targets = 0
+    num_decoys = 0
+    running: List[float] = []
+    for psm in ordered:
+        if psm.is_decoy:
+            num_decoys += 1
+        else:
+            num_targets += 1
+        # +1 pessimism (Elias & Gygi style) avoids 0/0 and makes the
+        # estimate conservative for tiny result sets.
+        running.append(num_decoys / max(num_targets, 1))
+    # Monotone non-decreasing from the top means taking the running
+    # minimum from the bottom.
+    minimum = np.minimum.accumulate(np.asarray(running)[::-1])[::-1]
+    for psm, q_value in zip(ordered, minimum):
+        psm.q_value = float(q_value)
+    return ordered
+
+
+def filter_at_fdr(psms: Iterable[PSM], threshold: float) -> List[PSM]:
+    """Accepted target PSMs at the given FDR threshold.
+
+    Assigns q-values on a copy of the list if any PSM lacks one.
+    """
+    psm_list = list(psms)
+    if any(psm.q_value is None for psm in psm_list):
+        assign_qvalues(psm_list)
+    return [
+        psm
+        for psm in psm_list
+        if not psm.is_decoy and psm.q_value is not None and psm.q_value <= threshold
+    ]
+
+
+def grouped_fdr(
+    psms: Iterable[PSM],
+    threshold: float,
+    group_key: Optional[Callable[[PSM], str]] = None,
+) -> List[PSM]:
+    """Subgroup FDR: q-values computed independently per group.
+
+    The default grouping separates "standard" (|Δmass| <= 0.5 Da) from
+    "open" (modified) PSMs, following ANN-SoLo's observation that mixing
+    the two biases the estimate against modified identifications.
+    """
+    if group_key is None:
+        group_key = lambda psm: "open" if psm.is_modified_match else "standard"
+    groups: Dict[str, List[PSM]] = {}
+    for psm in psms:
+        groups.setdefault(group_key(psm), []).append(psm)
+    accepted: List[PSM] = []
+    for _name, group in sorted(groups.items()):
+        assign_qvalues(group)
+        accepted.extend(
+            psm
+            for psm in group
+            if not psm.is_decoy and psm.q_value is not None and psm.q_value <= threshold
+        )
+    return accepted
+
+
+def decoy_statistics(psms: Iterable[PSM]) -> Dict[str, float]:
+    """Summary counts used when sanity-checking an FDR run."""
+    psm_list = list(psms)
+    num_decoys = sum(1 for psm in psm_list if psm.is_decoy)
+    num_targets = len(psm_list) - num_decoys
+    return {
+        "num_psms": float(len(psm_list)),
+        "num_targets": float(num_targets),
+        "num_decoys": float(num_decoys),
+        "decoy_fraction": num_decoys / len(psm_list) if psm_list else 0.0,
+    }

@@ -1,0 +1,172 @@
+"""Post-search modification analysis (the practitioner's view of OMS).
+
+An open search does not localise or identify modifications — it only
+produces a precursor mass difference per PSM.  Standard practice
+(Chick et al. 2015, the paper's HEK293 source) is to histogram those
+delta masses and annotate the recurring peaks with known modification
+masses.  This module provides exactly that: delta-mass histogramming,
+nearest-PTM annotation against the Unimod-like table, and a summary
+report, turning raw PSMs into the biology-facing result.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ms.modifications import COMMON_MODIFICATIONS, ModificationType
+from .psm import PSM
+
+#: Delta masses within this tolerance of zero count as unmodified.
+UNMODIFIED_TOLERANCE_DA = 0.5
+
+
+@dataclass(frozen=True)
+class DeltaMassPeak:
+    """One recurring mass shift in the delta-mass histogram."""
+
+    delta_mass: float
+    count: int
+    annotation: Optional[str] = None
+    annotation_error_da: Optional[float] = None
+
+    @property
+    def is_annotated(self) -> bool:
+        return self.annotation is not None
+
+
+def annotate_delta_mass(
+    delta_mass: float,
+    modifications: Sequence[ModificationType] = COMMON_MODIFICATIONS,
+    tolerance_da: float = 0.02,
+) -> Optional[Tuple[str, float]]:
+    """Match a mass shift to the nearest known modification.
+
+    Returns ``(name, error)`` when a modification's monoisotopic delta
+    lies within ``tolerance_da``; None otherwise.  Negative shifts are
+    matched against negated deltas (e.g. a loss), multiples are not
+    attempted (consistent with single-modification open search).
+    """
+    best: Optional[Tuple[str, float]] = None
+    for modification in modifications:
+        for sign, suffix in ((1.0, ""), (-1.0, " (loss)")):
+            error = delta_mass - sign * modification.mass_delta
+            if abs(error) <= tolerance_da:
+                if best is None or abs(error) < abs(best[1]):
+                    best = (modification.name + suffix, error)
+    return best
+
+
+def delta_mass_histogram(
+    psms: Iterable[PSM],
+    bin_width_da: float = 0.01,
+    min_count: int = 2,
+    modifications: Sequence[ModificationType] = COMMON_MODIFICATIONS,
+    annotation_tolerance_da: float = 0.02,
+) -> List[DeltaMassPeak]:
+    """Find recurring precursor mass shifts among modified PSMs.
+
+    Shifts are quantised to ``bin_width_da`` bins; bins with at least
+    ``min_count`` PSMs become peaks, annotated against the modification
+    table.  Returned in descending count order.
+    """
+    if bin_width_da <= 0:
+        raise ValueError("bin_width_da must be > 0")
+    shifts = [
+        psm.precursor_mass_difference
+        for psm in psms
+        if abs(psm.precursor_mass_difference) > UNMODIFIED_TOLERANCE_DA
+    ]
+    if not shifts:
+        return []
+    binned = Counter(
+        int(round(shift / bin_width_da)) for shift in shifts
+    )
+    peaks: List[DeltaMassPeak] = []
+    for bin_index, count in binned.items():
+        if count < min_count:
+            continue
+        center = bin_index * bin_width_da
+        annotation = annotate_delta_mass(
+            center, modifications, annotation_tolerance_da
+        )
+        peaks.append(
+            DeltaMassPeak(
+                delta_mass=round(center, 4),
+                count=count,
+                annotation=annotation[0] if annotation else None,
+                annotation_error_da=(
+                    round(annotation[1], 5) if annotation else None
+                ),
+            )
+        )
+    peaks.sort(key=lambda peak: (-peak.count, abs(peak.delta_mass)))
+    return peaks
+
+
+@dataclass
+class ModificationReport:
+    """Summary of what an open search found, modification-wise."""
+
+    num_psms: int
+    num_unmodified: int
+    num_modified: int
+    peaks: List[DeltaMassPeak] = field(default_factory=list)
+
+    @property
+    def annotated_fraction(self) -> float:
+        """Fraction of modified PSMs explained by annotated peaks."""
+        if self.num_modified == 0:
+            return 0.0
+        explained = sum(
+            peak.count for peak in self.peaks if peak.is_annotated
+        )
+        return min(1.0, explained / self.num_modified)
+
+    def top_modifications(self, limit: int = 10) -> List[Tuple[str, int]]:
+        """Most frequent annotated modifications with PSM counts."""
+        counts: Dict[str, int] = {}
+        for peak in self.peaks:
+            if peak.annotation is not None:
+                counts[peak.annotation] = (
+                    counts.get(peak.annotation, 0) + peak.count
+                )
+        return sorted(counts.items(), key=lambda item: -item[1])[:limit]
+
+    def render(self) -> str:
+        """Human-readable summary block."""
+        lines = [
+            f"PSMs analysed      : {self.num_psms}",
+            f"  unmodified       : {self.num_unmodified}",
+            f"  modified         : {self.num_modified} "
+            f"({self.annotated_fraction:.0%} explained by known PTMs)",
+            "recurring mass shifts:",
+        ]
+        for peak in self.peaks[:12]:
+            label = peak.annotation or "unannotated"
+            lines.append(
+                f"  {peak.delta_mass:+9.4f} Da  x{peak.count:<4d} {label}"
+            )
+        return "\n".join(lines)
+
+
+def analyze_modifications(
+    psms: Iterable[PSM],
+    bin_width_da: float = 0.01,
+    min_count: int = 2,
+    modifications: Sequence[ModificationType] = COMMON_MODIFICATIONS,
+) -> ModificationReport:
+    """Full modification analysis of (FDR-accepted) PSMs."""
+    psm_list = list(psms)
+    num_modified = sum(1 for psm in psm_list if psm.is_modified_match)
+    return ModificationReport(
+        num_psms=len(psm_list),
+        num_unmodified=len(psm_list) - num_modified,
+        num_modified=num_modified,
+        peaks=delta_mass_histogram(
+            psm_list, bin_width_da, min_count, modifications
+        ),
+    )

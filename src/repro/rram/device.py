@@ -1,0 +1,163 @@
+"""Behavioural MLC RRAM device model.
+
+Substitutes for the paper's fabricated 130 nm chip (Wan et al., Nature
+2022 lineage).  The model captures the non-idealities the paper's
+algorithm must tolerate:
+
+* **programming noise** — write-verify leaves a cell within a tight
+  Gaussian of its target conductance;
+* **conductance relaxation** — after programming, the conductance
+  distribution widens and drifts toward a mid-range attractor, growing
+  with ``log10(1 + t/tau)`` (Figure 8's widening histograms);
+* **retention tails** — a small, time-growing fraction of cells relaxes
+  far from its target (this heavy tail is what makes 2-bit and 3-bit
+  BERs of Figure 7 only a small factor apart rather than the orders of
+  magnitude a pure Gaussian would give);
+* **bounded range** — conductances clip to ``[0, gmax]`` (50 µS full
+  scale, matching Figure 8's axis).
+
+Default noise magnitudes were calibrated (see
+``experiments/fig7_storage.py``) so the 1/2/3-bit storage BER after one
+day lands near the paper's ~0.1% / ~4% / ~13%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+#: Measurement times used throughout the paper's Figures 7 and 8.
+PAPER_TIME_POINTS_S = {
+    "after_1s": 1.0,
+    "after_30min": 30 * 60.0,
+    "after_60min": 60 * 60.0,
+    "after_1day": 24 * 3600.0,
+}
+
+#: The paper collects all compute data "at least 2 hours after
+#: programming to account for RRAM relaxation effects" (Section 5.2.1).
+DEFAULT_COMPUTE_READ_TIME_S = 2 * 3600.0
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """Physical parameters of the RRAM cell population (conductance in µS)."""
+
+    gmax_us: float = 50.0
+    sigma_program_us: float = 0.55
+    #: Gaussian relaxation growth per decade of (1 + t/tau).
+    sigma_relax_us_per_decade: float = 0.55
+    #: Mean drift toward the attractor, fraction of distance per decade.
+    drift_fraction_per_decade: float = 0.01
+    #: Attractor position as a fraction of gmax (relaxed cells move here).
+    attractor_fraction: float = 0.4
+    #: Probability per decade that a cell joins the heavy retention tail.
+    tail_probability_per_decade: float = 0.012
+    #: Conductance scatter of tail cells (µS).
+    tail_sigma_us: float = 12.0
+    relax_tau_s: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.gmax_us <= 0:
+            raise ValueError("gmax_us must be > 0")
+        for name in (
+            "sigma_program_us",
+            "sigma_relax_us_per_decade",
+            "tail_sigma_us",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if not 0 <= self.attractor_fraction <= 1:
+            raise ValueError("attractor_fraction must be in [0, 1]")
+        if not 0 <= self.tail_probability_per_decade <= 1:
+            raise ValueError("tail_probability_per_decade must be in [0, 1]")
+
+    def decades(self, time_s: float) -> float:
+        """Relaxation progress variable: log10(1 + t/tau)."""
+        if time_s < 0:
+            raise ValueError("time_s must be >= 0")
+        return float(np.log10(1.0 + time_s / self.relax_tau_s))
+
+
+class RRAMDeviceModel:
+    """Stateless sampler of programmed / relaxed conductances."""
+
+    def __init__(
+        self, config: Optional[DeviceConfig] = None, seed: int = 0
+    ) -> None:
+        self.config = config or DeviceConfig()
+        self._rng = np.random.default_rng(seed)
+
+    def level_targets(self, num_levels: int) -> np.ndarray:
+        """Equally spaced conductance targets over [0, gmax] (µS)."""
+        if num_levels < 2:
+            raise ValueError(f"num_levels must be >= 2, got {num_levels}")
+        return np.linspace(0.0, self.config.gmax_us, num_levels)
+
+    def program(
+        self, targets_us: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Write-verify programming: targets + tight Gaussian, clipped."""
+        rng = rng or self._rng
+        targets_us = np.asarray(targets_us, dtype=np.float64)
+        programmed = targets_us + rng.normal(
+            0.0, self.config.sigma_program_us, targets_us.shape
+        )
+        return np.clip(programmed, 0.0, self.config.gmax_us)
+
+    def relax(
+        self,
+        programmed_us: np.ndarray,
+        time_s: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Conductances after ``time_s`` seconds of relaxation.
+
+        The three effects (drift, Gaussian widening, heavy tail) are
+        applied on top of the programmed state; the result is clipped to
+        the physical range.
+        """
+        rng = rng or self._rng
+        cfg = self.config
+        programmed_us = np.asarray(programmed_us, dtype=np.float64)
+        decades = cfg.decades(time_s)
+        if decades == 0.0:
+            return programmed_us.copy()
+        attractor = cfg.attractor_fraction * cfg.gmax_us
+        drifted = programmed_us + (
+            cfg.drift_fraction_per_decade
+            * decades
+            * (attractor - programmed_us)
+        )
+        drifted = drifted + rng.normal(
+            0.0, cfg.sigma_relax_us_per_decade * decades, programmed_us.shape
+        )
+        tail_probability = min(1.0, cfg.tail_probability_per_decade * decades)
+        if tail_probability > 0:
+            in_tail = rng.random(programmed_us.shape) < tail_probability
+            if in_tail.any():
+                drifted[in_tail] += rng.normal(
+                    0.0, cfg.tail_sigma_us, int(in_tail.sum())
+                )
+        return np.clip(drifted, 0.0, cfg.gmax_us)
+
+    def program_and_relax(
+        self,
+        targets_us: np.ndarray,
+        time_s: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Convenience: program then relax in one call."""
+        rng = rng or self._rng
+        return self.relax(self.program(targets_us, rng), time_s, rng)
+
+    def read_levels(
+        self, conductances_us: np.ndarray, num_levels: int
+    ) -> np.ndarray:
+        """Decode conductances to the nearest of ``num_levels`` targets."""
+        targets = self.level_targets(num_levels)
+        spacing = targets[1] - targets[0]
+        levels = np.rint(np.asarray(conductances_us) / spacing).astype(np.int64)
+        return np.clip(levels, 0, num_levels - 1)

@@ -1,0 +1,131 @@
+"""Tiling large weight matrices across fixed-size crossbar arrays.
+
+A reference library encoded at D=8192 with thousands of spectra does not
+fit one 256x256 array; the weight matrix is split into row blocks (each
+at most ``rows/2`` differential pairs deep) and column blocks (at most
+``cols`` wide).  Row-block partial MACs are accumulated digitally;
+column blocks are independent arrays operating in parallel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .crossbar import CrossbarArray, CrossbarConfig
+from .device import DEFAULT_COMPUTE_READ_TIME_S, RRAMDeviceModel
+
+
+@dataclass(frozen=True)
+class TileShape:
+    """How a (K, M) matrix decomposes into tiles."""
+
+    row_tiles: int
+    col_tiles: int
+    pairs_per_tile: int
+    cols_per_tile: int
+
+    @property
+    def num_tiles(self) -> int:
+        return self.row_tiles * self.col_tiles
+
+
+def plan_tiles(
+    num_weight_rows: int, num_outputs: int, config: CrossbarConfig
+) -> TileShape:
+    """Compute the tile decomposition for a weight matrix."""
+    pairs = config.max_pairs
+    cols = config.cols
+    return TileShape(
+        row_tiles=-(-num_weight_rows // pairs),
+        col_tiles=-(-num_outputs // cols),
+        pairs_per_tile=pairs,
+        cols_per_tile=cols,
+    )
+
+
+class TiledMatrix:
+    """A weight matrix programmed across many crossbar tiles."""
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        w_max: Optional[float] = None,
+        config: Optional[CrossbarConfig] = None,
+        device: Optional[RRAMDeviceModel] = None,
+        seed: int = 0,
+        read_time_s: float = DEFAULT_COMPUTE_READ_TIME_S,
+    ) -> None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 2:
+            raise ValueError("weights must be 2-D (K, M)")
+        self.config = config or CrossbarConfig()
+        self.device = device or RRAMDeviceModel(seed=seed)
+        self.shape = weights.shape
+        self.w_max = float(w_max if w_max is not None else (np.abs(weights).max() or 1.0))
+        self.plan = plan_tiles(weights.shape[0], weights.shape[1], self.config)
+        self._tiles: Dict[Tuple[int, int], CrossbarArray] = {}
+        self._row_slices: List[slice] = []
+        self._col_slices: List[slice] = []
+        pairs, cols = self.plan.pairs_per_tile, self.plan.cols_per_tile
+        for r in range(self.plan.row_tiles):
+            self._row_slices.append(
+                slice(r * pairs, min((r + 1) * pairs, weights.shape[0]))
+            )
+        for c in range(self.plan.col_tiles):
+            self._col_slices.append(
+                slice(c * cols, min((c + 1) * cols, weights.shape[1]))
+            )
+        for r, row_slice in enumerate(self._row_slices):
+            for c, col_slice in enumerate(self._col_slices):
+                tile = CrossbarArray(
+                    self.config,
+                    self.device,
+                    seed=seed + 997 * r + 31 * c + 1,
+                    read_time_s=read_time_s,
+                )
+                tile.program(weights[row_slice, col_slice], self.w_max)
+                self._tiles[(r, c)] = tile
+
+    @property
+    def num_tiles(self) -> int:
+        return len(self._tiles)
+
+    def mvm(self, inputs: np.ndarray) -> np.ndarray:
+        """Full-matrix noisy MVM via tile-wise accumulation."""
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.shape != (self.shape[0],):
+            raise ValueError(f"inputs shape {inputs.shape} != ({self.shape[0]},)")
+        output = np.zeros(self.shape[1], dtype=np.float64)
+        for (r, c), tile in self._tiles.items():
+            output[self._col_slices[c]] += tile.mvm(inputs[self._row_slices[r]])
+        return output
+
+    def mvm_exact(self, inputs: np.ndarray) -> np.ndarray:
+        """Noise-free reference result."""
+        inputs = np.asarray(inputs, dtype=np.float64)
+        output = np.zeros(self.shape[1], dtype=np.float64)
+        for (r, c), tile in self._tiles.items():
+            output[self._col_slices[c]] += tile.mvm_exact(
+                inputs[self._row_slices[r]]
+            )
+        return output
+
+    def cycles_per_mvm(self) -> int:
+        """Sensing cycles for one full MVM.
+
+        Column tiles run in parallel (independent arrays); row tiles are
+        sequential accumulations, each needing
+        ``ceil(pairs / max_active_pairs)`` chunk cycles.
+        """
+        cycles = 0
+        for row_slice in self._row_slices:
+            pairs = row_slice.stop - row_slice.start
+            cycles += -(-pairs // self.config.max_active_pairs)
+        return cycles
+
+    def total_cells(self) -> int:
+        """RRAM cells consumed (2 per weight, padding excluded)."""
+        return 2 * self.shape[0] * self.shape[1]

@@ -1,0 +1,62 @@
+"""Error metrics used in the chip-measurement experiments (Section 5.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def bit_error_rate(expected_bits: np.ndarray, actual_bits: np.ndarray) -> float:
+    """Fraction of differing positions between two bit/bipolar arrays."""
+    expected_bits = np.asarray(expected_bits)
+    actual_bits = np.asarray(actual_bits)
+    if expected_bits.shape != actual_bits.shape:
+        raise ValueError(
+            f"shape mismatch: {expected_bits.shape} vs {actual_bits.shape}"
+        )
+    if expected_bits.size == 0:
+        return 0.0
+    return float(np.mean(expected_bits != actual_bits))
+
+
+def level_error_rate(
+    expected_levels: np.ndarray, actual_levels: np.ndarray
+) -> float:
+    """Fraction of cells decoded to a wrong level."""
+    return bit_error_rate(expected_levels, actual_levels)
+
+
+def normalized_rmse(expected: np.ndarray, actual: np.ndarray) -> float:
+    """RMSE normalised by the expected values' full scale.
+
+    This is the "normalized mean square error" Figure 9b reports for the
+    in-memory Hamming search: raw MAC outputs are integers, so a
+    relative error metric is used instead of a bit error rate.
+    Normalisation is by the peak-to-peak range of the expected values
+    (falling back to their RMS, then to 1, for degenerate inputs).
+    """
+    expected = np.asarray(expected, dtype=np.float64)
+    actual = np.asarray(actual, dtype=np.float64)
+    if expected.shape != actual.shape:
+        raise ValueError(f"shape mismatch: {expected.shape} vs {actual.shape}")
+    if expected.size == 0:
+        return 0.0
+    rmse = float(np.sqrt(np.mean((expected - actual) ** 2)))
+    scale = float(expected.max() - expected.min())
+    if scale == 0.0:
+        scale = float(np.sqrt(np.mean(expected**2))) or 1.0
+    return rmse / scale
+
+
+def sign_error_rate(expected: np.ndarray, actual: np.ndarray) -> float:
+    """Fraction of positions whose sign differs after binarisation.
+
+    Zero is treated as positive on both sides, mirroring the encoder's
+    deterministic tiebreak.  This is Figure 9a's "errors from encoding".
+    """
+    expected = np.asarray(expected)
+    actual = np.asarray(actual)
+    if expected.shape != actual.shape:
+        raise ValueError(f"shape mismatch: {expected.shape} vs {actual.shape}")
+    if expected.size == 0:
+        return 0.0
+    return float(np.mean((expected >= 0) != (actual >= 0)))

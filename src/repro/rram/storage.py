@@ -1,0 +1,99 @@
+"""Dense hypervector storage in MLC RRAM (paper Section 4.3).
+
+Query hypervectors are stored *non-differentially* for maximum density:
+the D-bit hypervector is reshaped into D/n unsigned n-bit integers h'
+(n = 1, 2, 3 bits per cell) and each h' maps linearly onto a
+conductance ``g = h' / h'_max * g_max``.  Reading decodes each cell to
+the nearest level and unpacks the bits.  The storage BER of Figure 7 is
+exactly the end-to-end bit error of this round trip after relaxation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..hdc.packing import pack_cells, unpack_cells
+from .device import DeviceConfig, RRAMDeviceModel
+from .metrics import bit_error_rate
+
+
+@dataclass
+class StorageReadout:
+    """Result of reading a hypervector store at one time point."""
+
+    hypervectors: np.ndarray
+    time_s: float
+    bit_error_rate: float
+    level_error_rate: float
+
+
+class HypervectorStore:
+    """A block of MLC cells holding binary hypervectors at n bits/cell."""
+
+    def __init__(
+        self,
+        bits_per_cell: int,
+        device: Optional[RRAMDeviceModel] = None,
+        seed: int = 0,
+    ) -> None:
+        if bits_per_cell not in (1, 2, 3):
+            raise ValueError(
+                f"bits_per_cell must be 1, 2 or 3, got {bits_per_cell}"
+            )
+        self.bits_per_cell = bits_per_cell
+        self.num_levels = 2**bits_per_cell
+        self.device = device or RRAMDeviceModel(DeviceConfig(), seed=seed)
+        self._rng = np.random.default_rng(seed + 17)
+        self._dim: Optional[int] = None
+        self._true_cells: Optional[np.ndarray] = None
+        self._programmed_us: Optional[np.ndarray] = None
+        self._true_hvs: Optional[np.ndarray] = None
+
+    @property
+    def num_cells(self) -> int:
+        """Cells consumed by the current contents."""
+        return 0 if self._true_cells is None else int(self._true_cells.size)
+
+    def write(self, hypervectors: np.ndarray) -> None:
+        """Pack bipolar hypervectors into cells and program them."""
+        hypervectors = np.asarray(hypervectors)
+        if hypervectors.ndim == 1:
+            hypervectors = hypervectors[np.newaxis, :]
+        self._dim = hypervectors.shape[1]
+        self._true_hvs = hypervectors.astype(np.int8)
+        self._true_cells = pack_cells(hypervectors, self.bits_per_cell)
+        level_value = self.num_levels - 1
+        targets = (
+            self._true_cells.astype(np.float64)
+            / level_value
+            * self.device.config.gmax_us
+        )
+        self._programmed_us = self.device.program(targets, self._rng)
+
+    def read(self, time_s: float = 0.0) -> StorageReadout:
+        """Read back after ``time_s`` seconds of relaxation.
+
+        Each call draws a fresh relaxation realisation from the
+        programmed state (matching how the paper's chip is measured at
+        separate time points).
+        """
+        if self._programmed_us is None or self._true_cells is None:
+            raise RuntimeError("nothing written to the store yet")
+        relaxed = self.device.relax(self._programmed_us, time_s, self._rng)
+        levels = self.device.read_levels(relaxed, self.num_levels)
+        hypervectors = unpack_cells(
+            levels.astype(np.uint8), self.bits_per_cell, self._dim
+        )
+        return StorageReadout(
+            hypervectors=hypervectors,
+            time_s=time_s,
+            bit_error_rate=bit_error_rate(self._true_hvs, hypervectors),
+            level_error_rate=bit_error_rate(self._true_cells, levels),
+        )
+
+    def capacity_bits_per_cell(self) -> float:
+        """Storage density relative to SLC (the paper's headline 3x)."""
+        return float(self.bits_per_cell)

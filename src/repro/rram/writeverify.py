@@ -1,0 +1,147 @@
+"""Iterative write-verify programming (how MLC levels get tight at all).
+
+Real MLC RRAM cannot hit an analog conductance in one pulse: the chip
+programs, reads back, and re-pulses until the cell lands inside a
+tolerance band around its target (Wan et al. 2022 describe exactly this
+loop).  The device model's ``sigma_program_us`` is the *residual* error
+after this loop; this module makes the loop explicit so its cost —
+pulses, time, energy — can be accounted and traded against the residual
+tolerance.
+
+The trade-off matters for the paper's story: tighter write-verify makes
+more levels usable per cell (storage density) but multiplies write
+energy/time; the defaults land at the ~0.5 µS residual used by the
+calibrated device model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class WriteVerifyConfig:
+    """Knobs of the program-verify loop."""
+
+    #: Acceptance band around the target (µS); the loop stops once the
+    #: read-back lands inside it.
+    tolerance_us: float = 0.75
+    #: Maximum program pulses per cell before giving up.
+    max_iterations: int = 10
+    #: Scatter of a single (uncorrected) program pulse (µS).
+    pulse_sigma_us: float = 3.0
+    #: Fraction of the remaining error corrected per pulse.
+    correction_gain: float = 0.7
+    #: Read-back noise during verification (µS).
+    verify_read_noise_us: float = 0.2
+    #: Energy per program pulse per cell (pJ) — SET/RESET pulses cost
+    #: orders of magnitude more than reads.
+    pulse_energy_pj: float = 30.0
+    #: Duration of one program+verify iteration (ns).
+    iteration_time_ns: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.tolerance_us <= 0:
+            raise ValueError("tolerance_us must be > 0")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if not 0 < self.correction_gain <= 1:
+            raise ValueError("correction_gain must be in (0, 1]")
+
+
+@dataclass
+class WriteVerifyResult:
+    """Outcome of programming one block of cells."""
+
+    conductances_us: np.ndarray
+    iterations: np.ndarray
+    converged: np.ndarray
+
+    @property
+    def mean_iterations(self) -> float:
+        return float(self.iterations.mean()) if self.iterations.size else 0.0
+
+    @property
+    def convergence_rate(self) -> float:
+        return float(self.converged.mean()) if self.converged.size else 1.0
+
+    def energy_pj(self, config: WriteVerifyConfig) -> float:
+        """Total programming energy for the block (pJ)."""
+        return float(self.iterations.sum()) * config.pulse_energy_pj
+
+    def time_ns(self, config: WriteVerifyConfig) -> float:
+        """Serial programming time for the block (ns).
+
+        Cells on one word line program together; this upper bound
+        assumes fully serial rows, so real schedules land below it.
+        """
+        return float(self.iterations.sum()) * config.iteration_time_ns
+
+
+def write_verify(
+    targets_us: np.ndarray,
+    config: Optional[WriteVerifyConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+    gmax_us: float = 50.0,
+) -> WriteVerifyResult:
+    """Program cells toward their targets with a verify loop.
+
+    Returns the final conductances plus per-cell iteration counts and
+    convergence flags.  The residual error distribution tightens with
+    ``max_iterations`` and widens with ``tolerance_us`` — see the tests
+    for the quantitative invariants.
+    """
+    config = config or WriteVerifyConfig()
+    rng = rng or np.random.default_rng()
+    targets = np.asarray(targets_us, dtype=np.float64)
+    conductances = np.clip(
+        targets + rng.normal(0.0, config.pulse_sigma_us, targets.shape),
+        0.0,
+        gmax_us,
+    )
+    iterations = np.ones(targets.shape, dtype=np.int64)
+    active = np.ones(targets.shape, dtype=bool)
+    for _ in range(config.max_iterations - 1):
+        read = conductances + rng.normal(
+            0.0, config.verify_read_noise_us, targets.shape
+        )
+        error = read - targets
+        active = np.abs(error) > config.tolerance_us
+        if not active.any():
+            break
+        correction = -config.correction_gain * error[active]
+        pulse_noise = rng.normal(
+            0.0, config.pulse_sigma_us * 0.3, int(active.sum())
+        )
+        conductances[active] = np.clip(
+            conductances[active] + correction + pulse_noise, 0.0, gmax_us
+        )
+        iterations[active] += 1
+    # Convergence is judged on the true conductance: verify-read noise
+    # is transient and would misflag borderline cells either way.
+    converged = np.abs(conductances - targets) <= config.tolerance_us
+    return WriteVerifyResult(
+        conductances_us=conductances,
+        iterations=iterations,
+        converged=converged,
+    )
+
+
+def residual_sigma_us(
+    num_cells: int = 20_000,
+    config: Optional[WriteVerifyConfig] = None,
+    seed: int = 0,
+    gmax_us: float = 50.0,
+) -> float:
+    """Measure the residual programming sigma the loop achieves.
+
+    This is the quantity the device model's ``sigma_program_us``
+    abstracts; the default configs agree to within ~30%.
+    """
+    rng = np.random.default_rng(seed)
+    targets = np.full(num_cells, gmax_us / 2.0)
+    result = write_verify(targets, config, rng, gmax_us)
+    return float(np.std(result.conductances_us - targets))

@@ -1,0 +1,45 @@
+"""Shared test fixtures: small, fast, deterministic objects."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hdc.spaces import HDSpace, HDSpaceConfig
+from repro.ms.synthetic import WorkloadConfig, build_workload
+from repro.ms.vectorize import BinningConfig
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    """A tiny deterministic workload shared by read-only tests."""
+    return build_workload(
+        WorkloadConfig(
+            name="test", num_references=60, num_queries=24, seed=123
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def binning():
+    return BinningConfig()
+
+
+@pytest.fixture(scope="session")
+def small_space(binning):
+    """A small chunked HD space matching the default binning."""
+    return HDSpace(
+        HDSpaceConfig(
+            dim=512,
+            num_bins=binning.num_bins,
+            num_levels=8,
+            id_precision_bits=3,
+            chunked=True,
+            seed=42,
+        )
+    )
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)

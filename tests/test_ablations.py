@@ -1,0 +1,64 @@
+"""Smoke tests for the ablation experiments at tiny scale.
+
+The benchmarks assert the paper-shape claims at reporting scale; these
+tests exercise parameter plumbing and result structure quickly.
+"""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_ablation_encoding_scheme,
+    run_ablation_fdr,
+    run_ablation_id_precision,
+    run_ablation_levels,
+    run_ablation_weight_mapping,
+)
+from repro.ms.synthetic import WorkloadConfig, build_workload
+
+
+@pytest.fixture(scope="module")
+def tiny_workload():
+    return build_workload(
+        WorkloadConfig(name="abl", num_references=80, num_queries=20, seed=9)
+    )
+
+
+class TestAblationStructure:
+    def test_levels(self, tiny_workload):
+        result = run_ablation_levels(workload=tiny_workload, dim=512)
+        schemes = result.column("level_scheme")
+        assert schemes == ["classic", "chunked"]
+        cycles = result.column("encode_cycles_per_spectrum")
+        assert cycles[1] < cycles[0]  # chunked always cheaper
+
+    def test_id_precision(self, tiny_workload):
+        result = run_ablation_id_precision(
+            workload=tiny_workload, dim=512, precisions=(1, 3)
+        )
+        assert result.column("id_precision") == ["1-bit", "3-bit"]
+        assert all(ids >= 0 for ids in result.column("identifications"))
+
+    def test_weight_mapping(self):
+        result = run_ablation_weight_mapping(
+            activated_rows=(8, 16), num_outputs=16, num_mvms=5
+        )
+        assert result.column("activated_rows") == [8, 16]
+        for row in result.rows:
+            assert row[1] > 0 and row[2] > 0
+
+    def test_encoding_scheme(self, tiny_workload):
+        result = run_ablation_encoding_scheme(workload=tiny_workload, dim=512)
+        assert result.column("encoder") == [
+            "id-level",
+            "random-projection",
+            "permutation",
+        ]
+
+    def test_fdr(self, tiny_workload):
+        result = run_ablation_fdr(workload=tiny_workload, dim=512)
+        variants = result.column("fdr_variant")
+        assert variants == ["global", "grouped"]
+        for row in result.rows:
+            accepted, modified, correct = row[1], row[2], row[3]
+            assert modified <= accepted
+            assert correct <= accepted

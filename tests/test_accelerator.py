@@ -1,0 +1,221 @@
+"""Tests for the in-memory encoder/search backend and accelerator facade."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator.accelerator import OmsAccelerator, StoredQueryEncoder
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.im_encoder import InMemoryEncoder
+from repro.accelerator.im_search import InMemorySearchBackend
+from repro.hdc.encoder import SpectrumEncoder
+from repro.hdc.spaces import HDSpace, HDSpaceConfig
+from repro.ms.preprocessing import preprocess
+from repro.ms.vectorize import BinningConfig, vectorize
+from repro.rram.crossbar import CrossbarConfig
+from repro.rram.device import DeviceConfig, RRAMDeviceModel
+
+NOISELESS_DEVICE = DeviceConfig(
+    sigma_program_us=0.0,
+    sigma_relax_us_per_decade=0.0,
+    tail_probability_per_decade=0.0,
+    drift_fraction_per_decade=0.0,
+)
+CLEAN_CROSSBAR = CrossbarConfig(
+    read_noise_us=0.0, driver_droop=0.0, offset_sigma_v=0.0, adc_bits=16
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    from repro.ms.synthetic import WorkloadConfig, build_workload
+
+    binning = BinningConfig()
+    space = HDSpace(
+        HDSpaceConfig(
+            dim=512,
+            num_bins=binning.num_bins,
+            num_levels=8,
+            id_precision_bits=3,
+            chunked=True,
+            seed=5,
+        )
+    )
+    exact = SpectrumEncoder(space, binning)
+    workload = build_workload(
+        WorkloadConfig(name="acc", num_references=40, num_queries=15, seed=21)
+    )
+    vectors = [
+        vectorize(preprocess(s), binning) for s in workload.references[:8]
+    ]
+    return workload, exact, vectors, binning
+
+
+class TestInMemoryEncoder:
+    def test_clean_hardware_matches_exact_encoder(self, setup):
+        _, exact, vectors, _ = setup
+        encoder = InMemoryEncoder(
+            exact,
+            AcceleratorConfig(
+                crossbar=CLEAN_CROSSBAR,
+                device=NOISELESS_DEVICE,
+                encoder_adc_bits=16,
+                seed=9,
+            ),
+        )
+        for vector in vectors[:4]:
+            analog = encoder.encode_vector(vector)
+            digital = exact.encode_vector(vector)
+            # Dimensions with a zero accumulator are resolved by the
+            # digital tiebreak, which the analog path cannot see — they
+            # are excluded (cf. encoding_bit_error_rate).
+            nonzero = exact.accumulate(vector) != 0
+            assert np.array_equal(analog[nonzero], digital[nonzero])
+
+    def test_noisy_hardware_close_but_not_exact(self, setup):
+        _, exact, vectors, _ = setup
+        encoder = InMemoryEncoder(exact, AcceleratorConfig(seed=9))
+        ber = encoder.encoding_bit_error_rate(vectors)
+        assert 0.0 < ber < 0.25
+
+    def test_requires_chunked_space(self, setup, binning):
+        space = HDSpace(
+            HDSpaceConfig(
+                dim=256, num_bins=binning.num_bins, chunked=False, seed=1
+            )
+        )
+        exact = SpectrumEncoder(space, binning)
+        with pytest.raises(ValueError, match="chunked"):
+            InMemoryEncoder(exact)
+
+    def test_codebook_rows_cached(self, setup):
+        _, exact, vectors, _ = setup
+        encoder = InMemoryEncoder(exact, AcceleratorConfig(seed=9))
+        encoder.encode_vector(vectors[0])
+        first = encoder.stats.programmed_rows
+        encoder.encode_vector(vectors[0])
+        assert encoder.stats.programmed_rows == first  # no reprogramming
+
+    def test_stats_accumulate(self, setup):
+        _, exact, vectors, _ = setup
+        encoder = InMemoryEncoder(exact, AcceleratorConfig(seed=9))
+        encoder.encode_vector(vectors[0])
+        assert encoder.stats.spectra_encoded == 1
+        assert encoder.stats.sensing_cycles > 0
+        assert encoder.stats.adc_conversions >= encoder.space.dim
+
+
+class TestInMemorySearchBackend:
+    def test_clean_hardware_matches_exact_scores(self, rng):
+        backend = InMemorySearchBackend(
+            AcceleratorConfig(
+                crossbar=CLEAN_CROSSBAR, device=NOISELESS_DEVICE, seed=3
+            )
+        )
+        refs = (rng.integers(0, 2, (30, 256)) * 2 - 1).astype(np.int8)
+        backend.prepare(refs)
+        query = (rng.integers(0, 2, 256) * 2 - 1).astype(np.int8)
+        positions = np.arange(30)
+        analog = backend.scores(query, positions)
+        exact = backend.exact_scores(query, positions)
+        assert np.allclose(analog, exact, atol=1.0)
+
+    def test_noisy_scores_preserve_ranking_of_strong_matches(self, rng):
+        backend = InMemorySearchBackend(AcceleratorConfig(seed=3))
+        refs = (rng.integers(0, 2, (50, 1024)) * 2 - 1).astype(np.int8)
+        backend.prepare(refs)
+        # The query IS reference 7 with 5% flips: its score dominates.
+        query = refs[7].copy()
+        flips = rng.choice(1024, size=51, replace=False)
+        query[flips] = -query[flips]
+        scores = backend.scores(query, np.arange(50))
+        assert int(np.argmax(scores)) == 7
+
+    def test_search_nrmse_in_plausible_range(self, rng):
+        backend = InMemorySearchBackend(AcceleratorConfig(seed=3))
+        refs = (rng.integers(0, 2, (40, 512)) * 2 - 1).astype(np.int8)
+        backend.prepare(refs)
+        query = (rng.integers(0, 2, 512) * 2 - 1).astype(np.int8)
+        nrmse = backend.search_nrmse(query, np.arange(40))
+        assert 0.0 < nrmse < 0.3
+
+    def test_unprepared_backend_raises(self, rng):
+        backend = InMemorySearchBackend(AcceleratorConfig(seed=3))
+        with pytest.raises(RuntimeError):
+            backend.scores(np.ones(8, dtype=np.int8), np.arange(2))
+
+    def test_stats(self, rng):
+        config = AcceleratorConfig(seed=3)
+        backend = InMemorySearchBackend(config)
+        refs = (rng.integers(0, 2, (10, 256)) * 2 - 1).astype(np.int8)
+        backend.prepare(refs)
+        query = (rng.integers(0, 2, 256) * 2 - 1).astype(np.int8)
+        backend.scores(query, np.arange(10))
+        chunks = -(-256 // config.crossbar.max_active_pairs)
+        assert backend.stats.queries == 1
+        assert backend.stats.sensing_cycles == chunks
+        assert backend.stats.adc_conversions == chunks * 10
+
+
+class TestStoredQueryEncoder:
+    def test_roundtrip_through_storage_adds_bounded_errors(self, setup):
+        _, exact, vectors, _ = setup
+        device = RRAMDeviceModel(seed=4)
+        stored = StoredQueryEncoder(
+            exact, bits_per_cell=3, device=device, storage_time_s=3600.0, seed=5
+        )
+        from repro.ms.synthetic import WorkloadConfig, build_workload
+
+        workload = build_workload(
+            WorkloadConfig(name="sq", num_references=3, num_queries=0, seed=2)
+        )
+        spectrum = preprocess(workload.references[0])
+        clean = exact.encode(spectrum)
+        noisy = stored.encode(spectrum)
+        ber = float(np.mean(clean != noisy))
+        assert 0.0 < ber < 0.2  # 3 bpc after 1h: noticeable, tolerable
+
+
+class TestOmsAcceleratorFacade:
+    def test_end_to_end_search_quality(self, setup):
+        workload, _, _, _ = setup
+        accelerator = OmsAccelerator(
+            config=AcceleratorConfig(seed=7),
+            space_config=HDSpaceConfig(
+                dim=512, num_levels=8, id_precision_bits=3, seed=3
+            ),
+        )
+        searcher = accelerator.build_searcher(workload.references)
+        result = searcher.search(workload.queries)
+        assert result.backend_name == "mlc-rram"
+        correct = sum(
+            1
+            for psm in result.psms
+            if workload.truth.get(psm.query_id) == psm.peptide_key
+        )
+        assert correct >= 0.6 * len(result.psms)
+
+    def test_space_forced_chunked(self):
+        accelerator = OmsAccelerator(
+            space_config=HDSpaceConfig(dim=256, chunked=False, seed=1)
+        )
+        assert accelerator.space.chunked_levels is not None
+
+    def test_perf_model_accessible(self):
+        accelerator = OmsAccelerator(
+            space_config=HDSpaceConfig(dim=256, seed=1)
+        )
+        from repro.accelerator.perf import WorkloadShape
+
+        cost = accelerator.perf_model().total_cost(
+            WorkloadShape(num_queries=100, num_references=1000)
+        )
+        assert cost.seconds > 0
+        assert cost.joules > 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(storage_bits_per_cell=5)
+        with pytest.raises(ValueError):
+            AcceleratorConfig(num_arrays=0)
+        with pytest.raises(ValueError):
+            AcceleratorConfig(clock_mhz=0)

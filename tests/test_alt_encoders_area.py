@@ -1,0 +1,131 @@
+"""Tests for alternative encoders (Sec 3.2) and the area model."""
+
+import numpy as np
+import pytest
+
+from repro.hdc.alt_encoders import PermutationEncoder, RandomProjectionEncoder
+from repro.rram.area import AreaModel
+
+
+@pytest.fixture(scope="module")
+def alt_setup():
+    from repro.hdc.spaces import HDSpace, HDSpaceConfig
+    from repro.ms.preprocessing import preprocess
+    from repro.ms.synthetic import WorkloadConfig, build_workload
+    from repro.ms.vectorize import BinningConfig, vectorize
+
+    binning = BinningConfig()
+    space = HDSpace(
+        HDSpaceConfig(
+            dim=512, num_bins=binning.num_bins, num_levels=8, seed=13
+        )
+    )
+    workload = build_workload(
+        WorkloadConfig(name="alt", num_references=12, num_queries=0, seed=6)
+    )
+    vectors = [
+        vectorize(preprocess(s), binning) for s in workload.references
+    ]
+    return space, binning, vectors
+
+
+class TestAlternativeEncoders:
+    @pytest.mark.parametrize(
+        "encoder_cls", [RandomProjectionEncoder, PermutationEncoder]
+    )
+    def test_output_bipolar_and_deterministic(self, alt_setup, encoder_cls):
+        space, binning, vectors = alt_setup
+        encoder = encoder_cls(space, binning)
+        a = encoder.encode_vector(vectors[0])
+        b = encoder.encode_vector(vectors[0])
+        assert a.dtype == np.int8
+        assert set(np.unique(a)) <= {-1, 1}
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize(
+        "encoder_cls", [RandomProjectionEncoder, PermutationEncoder]
+    )
+    def test_distinct_spectra_distinct_codes(self, alt_setup, encoder_cls):
+        space, binning, vectors = alt_setup
+        encoder = encoder_cls(space, binning)
+        hvs = encoder.encode_batch(vectors[:6])
+        dim = space.dim
+        for i in range(6):
+            for j in range(i + 1, 6):
+                agreement = int(np.sum(hvs[i] == hvs[j]))
+                assert agreement < 0.8 * dim  # not collapsed
+
+    @pytest.mark.parametrize(
+        "encoder_cls", [RandomProjectionEncoder, PermutationEncoder]
+    )
+    def test_empty_vector_falls_back_to_tiebreak(self, alt_setup, encoder_cls):
+        from repro.ms.vectorize import SparseVector
+
+        space, binning, _ = alt_setup
+        encoder = encoder_cls(space, binning)
+        empty = SparseVector(
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+            binning.num_bins,
+        )
+        assert np.array_equal(encoder.encode_vector(empty), space.tiebreak)
+
+    def test_batch_shapes(self, alt_setup):
+        space, binning, vectors = alt_setup
+        encoder = RandomProjectionEncoder(space, binning)
+        batch = encoder.encode_batch(vectors[:5])
+        assert batch.shape == (5, space.dim)
+
+    def test_bin_count_mismatch_raises(self, alt_setup):
+        from repro.ms.vectorize import BinningConfig
+
+        space, _, _ = alt_setup
+        wrong = BinningConfig(min_mz=100, max_mz=200, bin_width=1.0)
+        with pytest.raises(ValueError):
+            RandomProjectionEncoder(space, wrong)
+        with pytest.raises(ValueError):
+            PermutationEncoder(space, wrong)
+
+
+class TestAreaModel:
+    def test_slc_rram_is_3x_sram(self):
+        model = AreaModel()
+        assert model.density_vs_sram(1) == pytest.approx(3.0, rel=0.01)
+
+    def test_mlc_scales_linearly(self):
+        model = AreaModel()
+        assert model.density_vs_sram(3) == pytest.approx(9.0, rel=0.01)
+        assert model.rram_bits_per_mm2(3) == pytest.approx(
+            3 * model.rram_bits_per_mm2(1)
+        )
+
+    def test_hypervector_density(self):
+        model = AreaModel()
+        # 3 bits/cell needs a third of the cells (ceil), so ~3x the HVs.
+        slc = model.hypervectors_per_mm2(8192, 1)
+        mlc = model.hypervectors_per_mm2(8192, 3)
+        assert mlc == pytest.approx(3 * slc, rel=0.01)
+
+    def test_library_area_scales_with_spectra(self):
+        model = AreaModel()
+        one = model.library_area_mm2(1_000, 8192, 3)
+        ten = model.library_area_mm2(10_000, 8192, 3)
+        assert ten == pytest.approx(10 * one)
+
+    def test_node_scaling(self):
+        # Same layout at a smaller node occupies less area.
+        coarse = AreaModel(feature_nm=130.0)
+        fine = AreaModel(feature_nm=22.0)
+        assert fine.rram_cell_area_um2() < coarse.rram_cell_area_um2()
+        # Density RATIO is node-independent.
+        assert fine.density_vs_sram(2) == pytest.approx(
+            coarse.density_vs_sram(2)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AreaModel(feature_nm=0)
+        with pytest.raises(ValueError):
+            AreaModel(periphery_overhead=0.5)
+        with pytest.raises(ValueError):
+            AreaModel().rram_bits_per_mm2(0)

@@ -1,0 +1,130 @@
+"""Tests for the hdoms command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_search_defaults(self):
+        args = build_parser().parse_args(
+            ["search", "--library", "l.msp", "--queries", "q.mgf"]
+        )
+        assert args.dim == 8192
+        assert args.id_bits == 3
+        assert args.mode == "open"
+        assert args.backend == "dense"
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["search", "--library", "l", "--queries", "q", "--backend", "gpu"]
+            )
+
+
+class TestInfo:
+    def test_info_prints_version(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "hdoms" in out
+        assert "DAC 2024" in out
+
+
+class TestWorkloadCommand:
+    def test_generates_files(self, tmp_path, capsys):
+        code = main(
+            [
+                "workload",
+                "--preset",
+                "custom",
+                "--references",
+                "50",
+                "--queries",
+                "10",
+                "--output-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "library.msp").exists()
+        assert (tmp_path / "queries.mgf").exists()
+        truth = (tmp_path / "truth.tsv").read_text().splitlines()
+        assert truth[0] == "query_id\ttrue_peptide"
+        assert len(truth) == 11
+
+    def test_preset_scaling(self, tmp_path):
+        main(
+            [
+                "workload",
+                "--preset",
+                "iprg2012",
+                "--scale",
+                "0.01",
+                "--output-dir",
+                str(tmp_path),
+            ]
+        )
+        msp = (tmp_path / "library.msp").read_text()
+        assert msp.count("Name:") == 40  # 4000 * 0.01
+
+
+class TestSearchCommand:
+    def test_end_to_end_files(self, tmp_path, capsys):
+        main(
+            [
+                "workload",
+                "--preset",
+                "custom",
+                "--references",
+                "120",
+                "--queries",
+                "25",
+                "--seed",
+                "3",
+                "--output-dir",
+                str(tmp_path),
+            ]
+        )
+        output = tmp_path / "psms.tsv"
+        code = main(
+            [
+                "search",
+                "--library",
+                str(tmp_path / "library.msp"),
+                "--queries",
+                str(tmp_path / "queries.mgf"),
+                "--dim",
+                "1024",
+                "--output",
+                str(output),
+                "--seed",
+                "3",
+            ]
+        )
+        assert code == 0
+        lines = output.read_text().splitlines()
+        assert lines[0].startswith("query_id\treference_id")
+        assert len(lines) > 5  # found real matches
+        out = capsys.readouterr().out
+        assert "accepted" in out
+
+
+class TestExperimentCommand:
+    def test_fig12_runs(self, capsys):
+        assert main(["experiment", "fig12"]) == 0
+        out = capsys.readouterr().out
+        assert "Energy efficiency" in out
+        assert "this-work-mlc-rram" in out
+
+    def test_fig7_runs(self, capsys):
+        assert main(["experiment", "fig7"]) == 0
+        assert "Bit error rate" in capsys.readouterr().out

@@ -1,0 +1,143 @@
+"""Edge-case tests across modules that the main suites don't reach."""
+
+import numpy as np
+import pytest
+
+from repro.rram.adc import ADC, ADCConfig
+from repro.rram.crossbar import CrossbarConfig, sense_chunk
+from repro.rram.device import RRAMDeviceModel
+
+
+class TestSenseChunk:
+    def test_rejects_oversized_chunk(self, rng):
+        config = CrossbarConfig(rows=256, max_active_pairs=8)
+        adc = ADC(config.adc_config())
+        g = np.full((9, 4), 25.0)
+        with pytest.raises(ValueError, match="exceed max_active_pairs"):
+            sense_chunk(
+                np.ones(9), g, g, np.zeros(4), config, 50.0, 1.0, adc, rng
+            )
+
+    def test_zero_weight_gives_zero_mac(self, rng):
+        """Equal g+ and g- (W=0) must produce ~zero output."""
+        config = CrossbarConfig(
+            rows=256,
+            max_active_pairs=16,
+            read_noise_us=0.0,
+            driver_droop=0.0,
+            offset_sigma_v=0.0,
+            adc_bits=16,
+        )
+        adc = ADC(config.adc_config())
+        g = np.full((16, 4), 25.0)  # g+ == g- everywhere
+        out = sense_chunk(
+            np.ones(16), g, g, np.zeros(4), config, 50.0, 1.0, adc, rng
+        )
+        assert np.allclose(out, 0.0, atol=0.01)
+
+    def test_sign_symmetry(self, rng):
+        """Negating all inputs negates the MAC (linear sensing)."""
+        config = CrossbarConfig(
+            rows=256,
+            max_active_pairs=8,
+            read_noise_us=0.0,
+            driver_droop=0.0,
+            offset_sigma_v=0.0,
+            adc_bits=16,
+        )
+        adc = ADC(config.adc_config())
+        weights = np.linspace(-1, 1, 8)[:, None] * np.ones((1, 3))
+        g_plus = 0.5 * (1 + weights) * 50.0
+        g_minus = 0.5 * (1 - weights) * 50.0
+        inputs = np.array([1.0, -1, 1, 1, -1, 1, -1, 1])
+        pos = sense_chunk(
+            inputs, g_plus, g_minus, np.zeros(3), config, 50.0, 1.0, adc, rng
+        )
+        neg = sense_chunk(
+            -inputs, g_plus, g_minus, np.zeros(3), config, 50.0, 1.0, adc, rng
+        )
+        assert np.allclose(pos, -neg, atol=0.05)
+
+
+class TestDeviceEdges:
+    def test_single_level_rejected(self):
+        device = RRAMDeviceModel(seed=0)
+        with pytest.raises(ValueError):
+            device.level_targets(1)
+
+    def test_program_preserves_shape(self, rng):
+        device = RRAMDeviceModel(seed=0)
+        targets = np.full((3, 4, 5), 10.0)
+        assert device.program(targets, rng).shape == (3, 4, 5)
+
+
+class TestSearchResultEdges:
+    def test_average_candidates_empty_queries(self, small_workload):
+        from repro.oms.candidates import CandidateIndex
+
+        index = CandidateIndex(small_workload.references)
+        assert index.average_candidates([]) == 0.0
+
+    def test_min_candidates_gate(self, small_workload, small_space, binning):
+        from repro.hdc.encoder import SpectrumEncoder
+        from repro.oms.search import HDOmsSearcher, HDSearchConfig
+
+        encoder = SpectrumEncoder(small_space, binning)
+        searcher = HDOmsSearcher(
+            encoder,
+            small_workload.references,
+            config=HDSearchConfig(min_candidates=10**6),
+        )
+        result = searcher.search(small_workload.queries[:5])
+        # The impossible candidate floor means nothing matches.
+        assert len(result.psms) == 0
+        assert result.num_unmatched == 5
+
+
+class TestAcceleratorEdges:
+    def test_stored_query_encoder_batch(self, small_workload, binning):
+        from repro.accelerator.accelerator import StoredQueryEncoder
+        from repro.hdc.encoder import SpectrumEncoder
+        from repro.hdc.spaces import HDSpace, HDSpaceConfig
+        from repro.ms.preprocessing import preprocess
+        from repro.rram.device import RRAMDeviceModel
+
+        space = HDSpace(
+            HDSpaceConfig(dim=256, num_bins=binning.num_bins, seed=3)
+        )
+        inner = SpectrumEncoder(space, binning)
+        stored = StoredQueryEncoder(
+            inner, 2, RRAMDeviceModel(seed=1), storage_time_s=60.0, seed=2
+        )
+        spectra = [
+            preprocess(s) for s in small_workload.references[:4]
+        ]
+        batch = stored.encode_batch([s for s in spectra if s is not None])
+        assert batch.shape[1] == 256
+        assert set(np.unique(batch)) <= {-1, 1}
+
+    def test_rram_backend_rejects_bad_query_shape(self, rng):
+        from repro.accelerator.config import AcceleratorConfig
+        from repro.accelerator.im_search import InMemorySearchBackend
+
+        backend = InMemorySearchBackend(AcceleratorConfig(seed=1))
+        refs = (rng.integers(0, 2, (5, 128)) * 2 - 1).astype(np.int8)
+        backend.prepare(refs)
+        with pytest.raises(ValueError, match="query shape"):
+            backend.scores(np.ones(64, dtype=np.int8), np.arange(5))
+
+
+class TestConstantsSanity:
+    def test_proton_and_water(self):
+        from repro.constants import PROTON_MASS, WATER_MASS
+
+        assert PROTON_MASS == pytest.approx(1.00728, abs=1e-5)
+        assert WATER_MASS == pytest.approx(18.01056, abs=1e-5)
+
+    def test_default_windows_ordered(self):
+        from repro.constants import (
+            DEFAULT_OPEN_WINDOW_DA,
+            DEFAULT_STANDARD_WINDOW_DA,
+        )
+
+        assert DEFAULT_OPEN_WINDOW_DA > DEFAULT_STANDARD_WINDOW_DA

@@ -1,0 +1,117 @@
+"""Tests for post-search delta-mass / modification analysis."""
+
+import pytest
+
+from repro.oms.modification_analysis import (
+    DeltaMassPeak,
+    analyze_modifications,
+    annotate_delta_mass,
+    delta_mass_histogram,
+)
+from repro.oms.psm import PSM
+
+
+def psm(delta, query="q", score=100.0):
+    return PSM(query, "r", "PEPK/2", score, False, delta)
+
+
+class TestAnnotate:
+    def test_exact_phospho(self):
+        result = annotate_delta_mass(79.966331)
+        assert result is not None
+        assert result[0] == "Phospho"
+        assert abs(result[1]) < 1e-9
+
+    def test_within_tolerance(self):
+        result = annotate_delta_mass(15.99, tolerance_da=0.02)
+        assert result is not None
+        assert result[0] == "Oxidation"
+
+    def test_outside_tolerance(self):
+        assert annotate_delta_mass(15.90, tolerance_da=0.02) is None
+
+    def test_negative_shift_is_loss(self):
+        result = annotate_delta_mass(-14.01565)
+        assert result is not None
+        assert result[0].endswith("(loss)")
+
+    def test_nearest_wins(self):
+        # Acetyl 42.010565 vs Trimethyl 42.046950: 42.02 is nearer Acetyl.
+        result = annotate_delta_mass(42.015, tolerance_da=0.05)
+        assert result[0] == "Acetyl"
+
+
+class TestHistogram:
+    def test_groups_recurring_shifts(self):
+        psms = [psm(79.966, f"q{i}") for i in range(5)] + [
+            psm(14.016, f"p{i}") for i in range(3)
+        ]
+        peaks = delta_mass_histogram(psms, min_count=2)
+        assert len(peaks) == 2
+        assert peaks[0].count == 5
+        assert peaks[0].annotation == "Phospho"
+        assert peaks[1].annotation == "Methyl"
+
+    def test_unmodified_excluded(self):
+        psms = [psm(0.001, f"q{i}") for i in range(10)]
+        assert delta_mass_histogram(psms) == []
+
+    def test_min_count_filters_singletons(self):
+        psms = [psm(79.966), psm(42.011)]
+        assert delta_mass_histogram(psms, min_count=2) == []
+        assert len(delta_mass_histogram(psms, min_count=1)) == 2
+
+    def test_unannotated_peak_survives(self):
+        psms = [psm(123.456, f"q{i}") for i in range(4)]
+        peaks = delta_mass_histogram(psms, min_count=2)
+        assert len(peaks) == 1
+        assert peaks[0].annotation is None
+
+    def test_invalid_bin_width(self):
+        with pytest.raises(ValueError):
+            delta_mass_histogram([psm(10.0)], bin_width_da=0)
+
+
+class TestReport:
+    def test_counts_and_fraction(self):
+        psms = (
+            [psm(0.0, f"u{i}") for i in range(6)]
+            + [psm(79.966, f"m{i}") for i in range(3)]
+            + [psm(500.123, f"x{i}") for i in range(2)]
+        )
+        report = analyze_modifications(psms)
+        assert report.num_psms == 11
+        assert report.num_unmodified == 6
+        assert report.num_modified == 5
+        assert report.annotated_fraction == pytest.approx(3 / 5)
+
+    def test_top_modifications(self):
+        psms = [psm(79.966, f"a{i}") for i in range(4)] + [
+            psm(15.9949, f"b{i}") for i in range(2)
+        ]
+        report = analyze_modifications(psms)
+        top = report.top_modifications()
+        assert top[0] == ("Phospho", 4)
+        assert top[1] == ("Oxidation", 2)
+
+    def test_render_contains_key_lines(self):
+        report = analyze_modifications([psm(79.966, f"q{i}") for i in range(3)])
+        text = report.render()
+        assert "modified" in text
+        assert "Phospho" in text
+
+    def test_end_to_end_on_pipeline_output(self, small_workload):
+        from repro.hdc import HDSpaceConfig
+        from repro.oms import OmsPipeline, PipelineConfig
+
+        pipeline = OmsPipeline.from_workload(
+            small_workload,
+            PipelineConfig(space=HDSpaceConfig(dim=1024, seed=4)),
+        )
+        result = pipeline.run_workload(small_workload)
+        report = analyze_modifications(result.accepted_psms, min_count=1)
+        assert report.num_psms == len(result.accepted_psms)
+        # Every synthetic modification comes from the known PTM table,
+        # so annotated fraction should be high when any are found.
+        if report.num_modified >= 3:
+            assert report.annotated_fraction >= 0.5

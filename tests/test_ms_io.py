@@ -1,0 +1,139 @@
+"""Tests for the MGF and MSP codecs."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.ms.mgf import MgfFormatError, read_mgf, write_mgf
+from repro.ms.msp import MspFormatError, read_msp, write_msp
+from repro.ms.peptide import Peptide
+from repro.ms.spectrum import Spectrum
+
+
+def sample_spectra():
+    return [
+        Spectrum(
+            identifier="scan=1",
+            precursor_mz=523.7765,
+            precursor_charge=2,
+            mz=np.array([110.07, 221.15, 350.2]),
+            intensity=np.array([120.0, 34.5, 999.0]),
+            peptide=Peptide("PEPTIDEK"),
+            retention_time=13.25,
+        ),
+        Spectrum(
+            identifier="scan=2",
+            precursor_mz=801.4,
+            precursor_charge=3,
+            mz=np.array([200.2, 300.3]),
+            intensity=np.array([1.0, 2.0]),
+        ),
+    ]
+
+
+class TestMgf:
+    def test_roundtrip(self):
+        buffer = io.StringIO()
+        count = write_mgf(sample_spectra(), buffer)
+        assert count == 2
+        buffer.seek(0)
+        loaded = list(read_mgf(buffer))
+        assert len(loaded) == 2
+        assert loaded[0].identifier == "scan=1"
+        assert loaded[0].precursor_mz == pytest.approx(523.7765, abs=1e-4)
+        assert loaded[0].precursor_charge == 2
+        assert loaded[0].peptide.sequence == "PEPTIDEK"
+        assert loaded[0].retention_time == pytest.approx(13.25)
+        assert np.allclose(loaded[0].mz, [110.07, 221.15, 350.2], atol=1e-4)
+        assert loaded[1].peptide is None
+
+    def test_roundtrip_through_file(self, tmp_path):
+        path = tmp_path / "spectra.mgf"
+        write_mgf(sample_spectra(), path)
+        loaded = list(read_mgf(path))
+        assert len(loaded) == 2
+
+    def test_charge_notations(self):
+        text = (
+            "BEGIN IONS\nTITLE=a\nPEPMASS=500.1\nCHARGE=2+\n"
+            "100.0 1.0\nEND IONS\n"
+            "BEGIN IONS\nTITLE=b\nPEPMASS=500.1\nCHARGE=+3\n"
+            "100.0 1.0\nEND IONS\n"
+        )
+        loaded = list(read_mgf(io.StringIO(text)))
+        assert [s.precursor_charge for s in loaded] == [2, 3]
+
+    def test_missing_pepmass_raises(self):
+        text = "BEGIN IONS\nTITLE=a\n100.0 1.0\nEND IONS\n"
+        with pytest.raises(MgfFormatError, match="PEPMASS"):
+            list(read_mgf(io.StringIO(text)))
+
+    def test_unterminated_block_raises(self):
+        text = "BEGIN IONS\nTITLE=a\nPEPMASS=500\n100.0 1.0\n"
+        with pytest.raises(MgfFormatError, match="ended inside"):
+            list(read_mgf(io.StringIO(text)))
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = (
+            "# a comment\n\nBEGIN IONS\nTITLE=a\nPEPMASS=500.1\n"
+            "CHARGE=2+\n100.0 1.0\n\nEND IONS\n"
+        )
+        assert len(list(read_mgf(io.StringIO(text)))) == 1
+
+
+class TestMsp:
+    def test_roundtrip(self):
+        buffer = io.StringIO()
+        count = write_msp(sample_spectra(), buffer)
+        assert count == 2
+        buffer.seek(0)
+        loaded = list(read_msp(buffer))
+        assert len(loaded) == 2
+        assert loaded[0].peptide.sequence == "PEPTIDEK"
+        assert loaded[0].precursor_charge == 2
+        assert loaded[0].precursor_mz == pytest.approx(523.7765, abs=1e-4)
+        assert not loaded[0].is_decoy
+
+    def test_decoy_flag_roundtrip(self):
+        decoy = Spectrum(
+            identifier="DECOY_x",
+            precursor_mz=400.0,
+            precursor_charge=2,
+            mz=np.array([150.0]),
+            intensity=np.array([1.0]),
+            peptide=Peptide("KEDITPEPK"),
+            is_decoy=True,
+        )
+        buffer = io.StringIO()
+        write_msp([decoy] + sample_spectra(), buffer)
+        buffer.seek(0)
+        loaded = list(read_msp(buffer))
+        assert loaded[0].is_decoy
+        assert not loaded[1].is_decoy  # Decoy=false must not match
+
+    def test_mw_converted_to_mz(self):
+        text = "Name: PEPTIDEK/2\nMW: 927.4549\nNum peaks: 1\n100.0\t1.0\n\n"
+        loaded = list(read_msp(io.StringIO(text)))
+        expected = (927.4549 + 2 * 1.007276466621) / 2
+        assert loaded[0].precursor_mz == pytest.approx(expected, abs=1e-4)
+
+    def test_peak_count_mismatch_raises(self):
+        text = "Name: AK/1\nPrecursorMZ: 300.0\nNum peaks: 2\n100.0\t1.0\n\n"
+        with pytest.raises(MspFormatError, match="expected 2 peaks"):
+            list(read_msp(io.StringIO(text)))
+
+    def test_missing_mass_raises(self):
+        text = "Name: AK/1\nNum peaks: 1\n100.0\t1.0\n\n"
+        with pytest.raises(MspFormatError, match="neither"):
+            list(read_msp(io.StringIO(text)))
+
+    def test_workload_roundtrip(self, small_workload, tmp_path):
+        path = tmp_path / "lib.msp"
+        write_msp(small_workload.references, path)
+        loaded = list(read_msp(path))
+        assert len(loaded) == len(small_workload.references)
+        for original, reloaded in zip(small_workload.references, loaded):
+            assert reloaded.peptide.sequence == original.peptide.sequence
+            assert reloaded.precursor_charge == original.precursor_charge
+            assert len(reloaded) == len(original)

@@ -1,0 +1,180 @@
+"""Tests for peptide mass and fragment-ion computation."""
+
+import numpy as np
+import pytest
+
+from repro.constants import PROTON_MASS, WATER_MASS
+from repro.ms.elements import RESIDUE_MASSES, is_valid_sequence, residue_mass
+from repro.ms.modifications import Modification
+from repro.ms.peptide import Peptide, neutral_mass_from_mz
+
+
+class TestResidues:
+    def test_twenty_canonical_residues(self):
+        assert len(RESIDUE_MASSES) == 20
+
+    def test_known_residue_masses(self):
+        assert residue_mass("G") == pytest.approx(57.02146, abs=1e-4)
+        assert residue_mass("W") == pytest.approx(186.07931, abs=1e-4)
+
+    def test_leucine_isoleucine_isobaric(self):
+        assert residue_mass("L") == residue_mass("I")
+
+    def test_unknown_residue_raises(self):
+        with pytest.raises(KeyError, match="unknown amino-acid"):
+            residue_mass("B")
+
+    def test_sequence_validation(self):
+        assert is_valid_sequence("PEPTIDEK")
+        assert not is_valid_sequence("PEPTIDEX")
+        assert not is_valid_sequence("")
+
+
+class TestPeptideMass:
+    def test_single_glycine(self):
+        assert Peptide("G").neutral_mass == pytest.approx(
+            57.02146 + WATER_MASS, abs=1e-4
+        )
+
+    def test_known_peptide_mass(self):
+        # PEPTIDEK residues sum to 909.44438; plus water.
+        assert Peptide("PEPTIDEK").neutral_mass == pytest.approx(
+            927.4549, abs=1e-3
+        )
+
+    def test_mass_is_order_invariant(self):
+        assert Peptide("ACDEF").neutral_mass == pytest.approx(
+            Peptide("FEDCA").neutral_mass, abs=1e-9
+        )
+
+    def test_precursor_mz_charge_relation(self):
+        peptide = Peptide("ELVISLIVESK")
+        mass = peptide.neutral_mass
+        for charge in (1, 2, 3):
+            expected = (mass + charge * PROTON_MASS) / charge
+            assert peptide.precursor_mz(charge) == pytest.approx(expected)
+
+    def test_neutral_mass_from_mz_inverts(self):
+        peptide = Peptide("SAMPLER")
+        for charge in (1, 2, 3):
+            assert neutral_mass_from_mz(
+                peptide.precursor_mz(charge), charge
+            ) == pytest.approx(peptide.neutral_mass, abs=1e-9)
+
+    def test_invalid_charge_raises(self):
+        with pytest.raises(ValueError):
+            Peptide("PEPTIDEK").precursor_mz(0)
+
+    def test_empty_sequence_raises(self):
+        with pytest.raises(ValueError):
+            Peptide("")
+
+
+class TestModifiedPeptide:
+    def test_modification_shifts_neutral_mass(self):
+        base = Peptide("PEPTIDEK")
+        modified = base.with_modification(Modification("Phospho", 3, 79.966331))
+        assert modified.neutral_mass == pytest.approx(
+            base.neutral_mass + 79.966331, abs=1e-6
+        )
+
+    def test_modification_outside_sequence_raises(self):
+        with pytest.raises(ValueError, match="outside peptide"):
+            Peptide("AK", (Modification("Phospho", 5, 79.97),))
+
+    def test_unmodified_strips_modifications(self):
+        modified = Peptide("PEPTIDEK").with_modification(
+            Modification("Methyl", 0, 14.01565)
+        )
+        assert modified.is_modified
+        assert not modified.unmodified().is_modified
+        assert modified.unmodified().sequence == "PEPTIDEK"
+
+    def test_proforma_rendering(self):
+        modified = Peptide("ACK").with_modification(
+            Modification("Oxidation", 1, 15.994915)
+        )
+        assert modified.proforma() == "AC[Oxidation]K"
+        assert Peptide("ACK").proforma() == "ACK"
+
+
+class TestFragments:
+    def test_fragment_count_singly_charged(self):
+        # b1..b(n-1) and y1..y(n-1).
+        peptide = Peptide("PEPTIDEK")
+        assert len(peptide.fragment_mzs()) == 2 * (len(peptide) - 1)
+
+    def test_fragment_count_doubly_charged(self):
+        peptide = Peptide("PEPTIDEK")
+        assert len(peptide.fragment_mzs(max_fragment_charge=2)) == 4 * (
+            len(peptide) - 1
+        )
+
+    def test_b1_ion_mass(self):
+        # b1 of "GK" is the glycine residue plus a proton.
+        ions = dict(
+            ((series, index), mz)
+            for series, index, charge, mz in Peptide("GK").fragment_ions()
+        )
+        assert ions[("b", 1)] == pytest.approx(
+            57.02146 + PROTON_MASS, abs=1e-4
+        )
+
+    def test_y1_ion_mass(self):
+        # y1 of "GK" is lysine + water + proton.
+        ions = dict(
+            ((series, index), mz)
+            for series, index, charge, mz in Peptide("GK").fragment_ions()
+        )
+        assert ions[("y", 1)] == pytest.approx(
+            128.09496 + WATER_MASS + PROTON_MASS, abs=1e-4
+        )
+
+    def test_b_y_complementarity(self):
+        # b_i + y_(n-i) neutral masses sum to the peptide mass + water...
+        # in m/z terms (charge 1): b_i + y_{n-i} = M + water? Verify via
+        # neutral relation: (b_i - H) + (y_{n-i} - H) == M.
+        peptide = Peptide("ELVISK")
+        ions = dict(
+            ((series, index), mz)
+            for series, index, charge, mz in peptide.fragment_ions()
+        )
+        n = len(peptide)
+        for i in range(1, n):
+            total = (ions[("b", i)] - PROTON_MASS) + (
+                ions[("y", n - i)] - PROTON_MASS
+            )
+            assert total == pytest.approx(peptide.neutral_mass, abs=1e-6)
+
+    def test_modified_fragments_shift_correctly(self):
+        """Fragments containing the modified residue shift; others don't."""
+        base = Peptide("PEPTIDEK")
+        delta = 79.966331
+        position = 3  # the T
+        modified = base.with_modification(Modification("Phospho", position, delta))
+        base_ions = {
+            (series, index): mz
+            for series, index, _, mz in base.fragment_ions()
+        }
+        modified_ions = {
+            (series, index): mz
+            for series, index, _, mz in modified.fragment_ions()
+        }
+        n = len(base)
+        for i in range(1, n):
+            # b_i covers residues 0..i-1: shifted iff position < i.
+            expected_b = base_ions[("b", i)] + (delta if position < i else 0.0)
+            assert modified_ions[("b", i)] == pytest.approx(expected_b, abs=1e-6)
+            # y_i covers residues n-i..n-1: shifted iff position >= n-i.
+            expected_y = base_ions[("y", i)] + (
+                delta if position >= n - i else 0.0
+            )
+            assert modified_ions[("y", i)] == pytest.approx(expected_y, abs=1e-6)
+
+    def test_fragments_sorted(self):
+        mzs = Peptide("ELVISLIVESK").fragment_mzs(max_fragment_charge=2)
+        assert np.all(np.diff(mzs) >= 0)
+
+    def test_invalid_fragment_charge_raises(self):
+        with pytest.raises(ValueError):
+            Peptide("PEPTIDEK").fragment_mzs(max_fragment_charge=0)

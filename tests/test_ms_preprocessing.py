@@ -1,0 +1,129 @@
+"""Tests for spectrum preprocessing (paper Section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.ms.preprocessing import (
+    PreprocessingConfig,
+    filter_intensity,
+    is_high_quality,
+    normalize_intensity,
+    preprocess,
+    remove_precursor_peaks,
+    restrict_mz_range,
+    scale_intensity,
+)
+from repro.ms.spectrum import Spectrum
+
+
+def spectrum_with(mz, intensity, **kw):
+    defaults = dict(identifier="p", precursor_mz=600.0, precursor_charge=2)
+    defaults.update(kw)
+    return Spectrum(mz=np.asarray(mz, float), intensity=np.asarray(intensity, float), **defaults)
+
+
+class TestRangeAndPrecursor:
+    def test_restrict_mz_range(self):
+        spectrum = spectrum_with([50, 150, 1600], [1, 2, 3])
+        out = restrict_mz_range(spectrum, 100, 1500)
+        assert np.array_equal(out.mz, [150.0])
+
+    def test_remove_precursor_peaks(self):
+        spectrum = spectrum_with([599.0, 600.5, 800.0], [1, 5, 2])
+        out = remove_precursor_peaks(spectrum, tolerance=1.5)
+        assert np.array_equal(out.mz, [800.0])
+
+
+class TestIntensityFilter:
+    def test_threshold_relative_to_base_peak(self):
+        spectrum = spectrum_with([100, 200, 300], [100.0, 0.5, 50.0])
+        out = filter_intensity(spectrum, min_intensity_fraction=0.01)
+        assert 200.0 not in out.mz  # 0.5 < 1% of 100
+        assert len(out) == 2
+
+    def test_max_peaks_keeps_most_intense(self):
+        mz = np.arange(100, 200, dtype=float)
+        intensity = np.arange(100, dtype=float) + 1
+        spectrum = spectrum_with(mz, intensity)
+        out = filter_intensity(spectrum, 0.0, max_peaks=10)
+        assert len(out) == 10
+        assert out.intensity.min() >= 91
+
+    def test_result_remains_sorted_by_mz(self):
+        mz = np.arange(100, 160, dtype=float)
+        intensity = np.linspace(60, 1, 60)
+        out = filter_intensity(spectrum_with(mz, intensity), 0.0, max_peaks=20)
+        assert np.all(np.diff(out.mz) > 0)
+
+    def test_empty_spectrum_passthrough(self):
+        spectrum = spectrum_with([], [])
+        assert len(filter_intensity(spectrum)) == 0
+
+
+class TestScaling:
+    def test_sqrt_scaling(self):
+        spectrum = spectrum_with([100, 200], [4.0, 16.0])
+        out = scale_intensity(spectrum, "sqrt")
+        assert out.intensity == pytest.approx([2.0, 4.0])
+
+    def test_rank_scaling(self):
+        spectrum = spectrum_with([100, 200, 300], [5.0, 1.0, 3.0])
+        out = scale_intensity(spectrum, "rank")
+        assert out.intensity == pytest.approx([3.0, 1.0, 2.0])
+
+    def test_none_scaling_is_identity(self):
+        spectrum = spectrum_with([100], [7.0])
+        out = scale_intensity(spectrum, "none")
+        assert out.intensity == pytest.approx([7.0])
+
+    def test_unknown_scaling_raises(self):
+        with pytest.raises(ValueError):
+            scale_intensity(spectrum_with([100], [1.0]), "log")
+
+    def test_normalize_unit_norm(self):
+        spectrum = spectrum_with([100, 200], [3.0, 4.0])
+        out = normalize_intensity(spectrum)
+        assert np.linalg.norm(out.intensity) == pytest.approx(1.0)
+
+    def test_normalize_zero_spectrum_safe(self):
+        spectrum = spectrum_with([100], [0.0])
+        out = normalize_intensity(spectrum)
+        assert out.intensity == pytest.approx([0.0])
+
+
+class TestFullChain:
+    def test_preprocess_returns_none_for_sparse_spectra(self):
+        spectrum = spectrum_with([150, 250], [1.0, 2.0])
+        assert preprocess(spectrum) is None
+
+    def test_preprocess_full_chain(self, small_workload):
+        out = preprocess(small_workload.queries[0])
+        assert out is not None
+        assert len(out) >= 5
+        assert np.linalg.norm(out.intensity) == pytest.approx(1.0, abs=1e-5)
+        assert out.mz.min() >= 100.0
+        assert out.mz.max() <= 1500.0
+
+    def test_preprocess_is_deterministic(self, small_workload):
+        a = preprocess(small_workload.queries[1])
+        b = preprocess(small_workload.queries[1])
+        assert np.array_equal(a.mz, b.mz)
+        assert np.array_equal(a.intensity, b.intensity)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PreprocessingConfig(min_mz=1500, max_mz=100)
+        with pytest.raises(ValueError):
+            PreprocessingConfig(min_intensity_fraction=1.5)
+        with pytest.raises(ValueError):
+            PreprocessingConfig(scaling="cube")
+
+    def test_quality_gate(self):
+        good = spectrum_with(
+            np.linspace(100, 800, 20), np.ones(20)
+        )
+        assert is_high_quality(good)
+        narrow = spectrum_with(
+            np.linspace(100, 150, 20), np.ones(20)
+        )
+        assert not is_high_quality(narrow)

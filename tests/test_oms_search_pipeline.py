@@ -1,0 +1,217 @@
+"""Tests for the HD searcher and the end-to-end pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.hdc.encoder import SpectrumEncoder
+from repro.hdc.spaces import HDSpace, HDSpaceConfig
+from repro.ms.vectorize import BinningConfig
+from repro.oms.pipeline import OmsPipeline, PipelineConfig, decoy_factory_for
+from repro.oms.search import (
+    DenseBackend,
+    HDOmsSearcher,
+    HDSearchConfig,
+    PackedBackend,
+)
+
+
+@pytest.fixture(scope="module")
+def module_setup():
+    from repro.ms.synthetic import WorkloadConfig, build_workload
+
+    workload = build_workload(
+        WorkloadConfig(
+            name="searchtest", num_references=150, num_queries=40, seed=31
+        )
+    )
+    binning = BinningConfig()
+    space = HDSpace(
+        HDSpaceConfig(
+            dim=1024,
+            num_bins=binning.num_bins,
+            num_levels=16,
+            id_precision_bits=3,
+            seed=5,
+        )
+    )
+    encoder = SpectrumEncoder(space, binning)
+    return workload, encoder
+
+
+class TestHDOmsSearcher:
+    def test_dense_and_packed_backends_agree(self, module_setup):
+        workload, encoder = module_setup
+        dense = HDOmsSearcher(
+            encoder, workload.references, backend=DenseBackend()
+        )
+        packed = HDOmsSearcher(
+            encoder, workload.references, backend=PackedBackend()
+        )
+        result_dense = dense.search(workload.queries)
+        result_packed = packed.search(workload.queries)
+        assert result_dense.score_by_query() == result_packed.score_by_query()
+        assert [psm.reference_id for psm in result_dense.psms] == [
+            psm.reference_id for psm in result_packed.psms
+        ]
+
+    def test_unmodified_queries_match_their_reference(self, module_setup):
+        workload, encoder = module_setup
+        searcher = HDOmsSearcher(encoder, workload.references)
+        correct = 0
+        total = 0
+        for query in workload.queries:
+            truth = workload.truth[query.identifier]
+            if truth is None or (
+                query.peptide is not None and query.peptide.is_modified
+            ):
+                continue
+            psm = searcher.search_one(query)
+            total += 1
+            if psm is not None and psm.peptide_key == truth:
+                correct += 1
+        assert total > 0
+        assert correct >= 0.9 * total
+
+    def test_modified_queries_match_within_open_window(self, module_setup):
+        workload, encoder = module_setup
+        searcher = HDOmsSearcher(encoder, workload.references)
+        modified = [
+            q
+            for q in workload.queries
+            if q.peptide is not None and q.peptide.is_modified
+        ]
+        assert modified
+        hits = 0
+        for query in modified:
+            psm = searcher.search_one(query)
+            if psm is not None and psm.peptide_key == workload.truth[query.identifier]:
+                assert psm.is_modified_match
+                hits += 1
+        assert hits >= 0.7 * len(modified)
+
+    def test_standard_mode_misses_modified(self, module_setup):
+        workload, encoder = module_setup
+        searcher = HDOmsSearcher(
+            encoder,
+            workload.references,
+            config=HDSearchConfig(mode="standard"),
+        )
+        for query in workload.queries:
+            if query.peptide is not None and query.peptide.is_modified:
+                psm = searcher.search_one(query)
+                # The modified precursor falls outside the narrow window
+                # of its own reference.
+                assert psm is None or psm.peptide_key != workload.truth.get(
+                    query.identifier
+                ) or not psm.is_modified_match
+
+    def test_cascade_prefers_standard(self, module_setup):
+        workload, encoder = module_setup
+        searcher = HDOmsSearcher(
+            encoder, workload.references, config=HDSearchConfig(mode="cascade")
+        )
+        result = searcher.search(workload.queries)
+        for psm in result.psms:
+            if psm.mode == "standard":
+                assert abs(psm.precursor_mass_difference) <= 0.06
+
+    def test_bit_error_injection_changes_scores(self, module_setup):
+        workload, encoder = module_setup
+        clean = HDOmsSearcher(encoder, workload.references)
+        noisy = HDOmsSearcher(
+            encoder,
+            workload.references,
+            config=HDSearchConfig(query_ber=0.2, reference_ber=0.2),
+        )
+        clean_scores = clean.search(workload.queries[:10]).score_by_query()
+        noisy_scores = noisy.search(workload.queries[:10]).score_by_query()
+        assert any(
+            clean_scores[q] != noisy_scores[q] for q in clean_scores
+        )
+        # Noise attenuates similarity on average.
+        assert np.mean(list(noisy_scores.values())) < np.mean(
+            list(clean_scores.values())
+        )
+
+    def test_empty_reference_list_raises(self, module_setup):
+        _, encoder = module_setup
+        with pytest.raises(ValueError):
+            HDOmsSearcher(encoder, [])
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            HDSearchConfig(mode="fuzzy")
+        with pytest.raises(ValueError):
+            HDSearchConfig(query_ber=2.0)
+
+
+class TestPipeline:
+    def test_end_to_end_quality(self, module_setup):
+        workload, _ = module_setup
+        config = PipelineConfig(
+            space=HDSpaceConfig(dim=1024, num_levels=16, id_precision_bits=3, seed=5)
+        )
+        pipeline = OmsPipeline.from_workload(workload, config)
+        result = pipeline.run_workload(workload)
+        assert result.num_identifications > 0
+        # On a clean synthetic workload at 1% FDR, nearly everything
+        # accepted should be correct.
+        assert result.evaluation["precision"] >= 0.9
+        assert result.evaluation["recall"] >= 0.7
+
+    def test_library_contains_decoys(self, module_setup):
+        workload, _ = module_setup
+        pipeline = OmsPipeline.from_workload(
+            workload,
+            PipelineConfig(space=HDSpaceConfig(dim=512, seed=5)),
+        )
+        decoys = [s for s in pipeline.library if s.is_decoy]
+        targets = [s for s in pipeline.library if not s.is_decoy]
+        assert len(targets) == len(workload.references)
+        assert len(decoys) >= 0.9 * len(targets)
+
+    def test_num_bins_synced_to_binning(self, module_setup):
+        workload, _ = module_setup
+        config = PipelineConfig(
+            binning=BinningConfig(min_mz=100, max_mz=900, bin_width=0.5),
+            space=HDSpaceConfig(dim=512, num_bins=1, seed=5),
+        )
+        pipeline = OmsPipeline.from_workload(workload, config)
+        assert (
+            pipeline.encoder.space.config.num_bins
+            == config.binning.num_bins
+        )
+
+    def test_timings_recorded(self, module_setup):
+        workload, _ = module_setup
+        pipeline = OmsPipeline.from_workload(
+            workload, PipelineConfig(space=HDSpaceConfig(dim=512, seed=5))
+        )
+        result = pipeline.run_workload(workload)
+        for stage in ("decoy_generation", "reference_encoding", "search", "fdr_filter"):
+            assert stage in result.timings
+            assert result.timings[stage] >= 0
+
+    def test_grouped_vs_global_fdr(self, module_setup):
+        workload, _ = module_setup
+        grouped = OmsPipeline.from_workload(
+            workload,
+            PipelineConfig(
+                space=HDSpaceConfig(dim=1024, seed=5), use_grouped_fdr=True
+            ),
+        ).run_workload(workload)
+        global_ = OmsPipeline.from_workload(
+            workload,
+            PipelineConfig(
+                space=HDSpaceConfig(dim=1024, seed=5), use_grouped_fdr=False
+            ),
+        ).run_workload(workload)
+        # Both must produce sane results; grouped FDR typically rescues
+        # at least as many modified identifications.
+        grouped_modified = sum(
+            1 for psm in grouped.accepted_psms if psm.is_modified_match
+        )
+        global_modified = sum(
+            1 for psm in global_.accepted_psms if psm.is_modified_match
+        )
+        assert grouped_modified >= global_modified

@@ -1,0 +1,133 @@
+"""Tests for the performance/energy models (Figure 12, Section 5.3.3)."""
+
+import pytest
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.perf import (
+    ALL_BASELINES,
+    ANN_SOLO_CPU,
+    ANN_SOLO_GPU,
+    HYPEROMS_GPU,
+    AcceleratorPerfModel,
+    PAPER_HEK293_SHAPE,
+    PAPER_IPRG2012_SHAPE,
+    WorkloadShape,
+    energy_improvements,
+    hd_operation_count,
+    platform_costs,
+    sdp_operation_count,
+    speedups_vs_this_work,
+)
+
+
+class TestWorkloadShape:
+    def test_open_candidates(self):
+        shape = WorkloadShape(
+            num_queries=100, num_references=1000, open_candidate_fraction=0.3
+        )
+        assert shape.avg_open_candidates == pytest.approx(300)
+
+    def test_paper_shapes(self):
+        assert PAPER_IPRG2012_SHAPE.num_queries == 16_000
+        assert PAPER_IPRG2012_SHAPE.num_references == 1_000_000
+        assert PAPER_HEK293_SHAPE.num_references == 3_000_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadShape(num_queries=1, num_references=0)
+        with pytest.raises(ValueError):
+            WorkloadShape(
+                num_queries=1, num_references=1, open_candidate_fraction=0
+            )
+
+
+class TestOperationCounts:
+    def test_sdp_scales_with_queries(self):
+        small = WorkloadShape(num_queries=100, num_references=10_000)
+        large = WorkloadShape(num_queries=200, num_references=10_000)
+        assert sdp_operation_count(large) == pytest.approx(
+            2 * sdp_operation_count(small)
+        )
+
+    def test_hd_scales_with_library(self):
+        small = WorkloadShape(num_queries=100, num_references=10_000)
+        large = WorkloadShape(num_queries=100, num_references=100_000)
+        assert hd_operation_count(large) > 5 * hd_operation_count(small)
+
+    def test_ann_probe_caps_sdp_work(self):
+        # ANN-SoLo rescoring is capped by its index probe count, so SDP
+        # op count saturates with library size.
+        small = WorkloadShape(num_queries=10, num_references=10_000)
+        large = WorkloadShape(num_queries=10, num_references=10_000_000)
+        assert sdp_operation_count(large) == pytest.approx(
+            sdp_operation_count(small)
+        )
+
+
+class TestAcceleratorModel:
+    def test_stage_costs_positive(self):
+        model = AcceleratorPerfModel()
+        encode = model.encode_cost(PAPER_IPRG2012_SHAPE)
+        search = model.search_cost(PAPER_IPRG2012_SHAPE)
+        assert encode.cycles > 0 and encode.seconds > 0 and encode.joules > 0
+        assert search.cycles > 0
+        # Search dominates: the candidate sweep touches 300k references.
+        assert search.joules > encode.joules
+
+    def test_more_arrays_means_faster_search(self):
+        few = AcceleratorPerfModel(AcceleratorConfig(num_arrays=16))
+        many = AcceleratorPerfModel(AcceleratorConfig(num_arrays=1024))
+        assert many.search_cost(PAPER_IPRG2012_SHAPE).seconds < few.search_cost(
+            PAPER_IPRG2012_SHAPE
+        ).seconds
+
+    def test_total_is_sum_of_stages(self):
+        model = AcceleratorPerfModel()
+        total = model.total_cost(PAPER_IPRG2012_SHAPE)
+        encode = model.encode_cost(PAPER_IPRG2012_SHAPE)
+        search = model.search_cost(PAPER_IPRG2012_SHAPE)
+        assert total.seconds == pytest.approx(encode.seconds + search.seconds)
+        assert total.joules == pytest.approx(encode.joules + search.joules)
+
+
+class TestPaperRatios:
+    def test_speedups_near_paper(self):
+        speedups = speedups_vs_this_work(PAPER_IPRG2012_SHAPE)
+        # Paper Section 5.3.3: 76.7x / 24.8x / 1.7x.
+        assert speedups[ANN_SOLO_CPU.name] == pytest.approx(76.7, rel=0.25)
+        assert speedups[ANN_SOLO_GPU.name] == pytest.approx(24.8, rel=0.25)
+        assert speedups[HYPEROMS_GPU.name] == pytest.approx(1.7, rel=0.35)
+
+    def test_energy_ordering_matches_figure_12(self):
+        improvements = energy_improvements(PAPER_IPRG2012_SHAPE)
+        assert improvements[ANN_SOLO_CPU.name] == pytest.approx(1.0)
+        assert (
+            improvements[ANN_SOLO_CPU.name]
+            < improvements[ANN_SOLO_GPU.name]
+            < improvements[HYPEROMS_GPU.name]
+            < improvements["this-work-mlc-rram"]
+        )
+
+    def test_three_orders_of_magnitude_energy_gap(self):
+        improvements = energy_improvements(PAPER_IPRG2012_SHAPE)
+        assert 500 <= improvements["this-work-mlc-rram"] <= 30_000
+
+    def test_advantage_holds_at_hek293_scale(self):
+        speedups = speedups_vs_this_work(PAPER_HEK293_SHAPE)
+        assert all(value > 1.0 for value in speedups.values())
+
+    def test_platform_costs_complete(self):
+        costs = platform_costs(PAPER_IPRG2012_SHAPE)
+        assert len(costs) == len(ALL_BASELINES) + 1
+        assert all(cost.seconds > 0 and cost.joules > 0 for cost in costs.values())
+
+    def test_cost_comparison_helpers(self):
+        costs = platform_costs(PAPER_IPRG2012_SHAPE)
+        ours = costs["this-work-mlc-rram"]
+        cpu = costs[ANN_SOLO_CPU.name]
+        assert ours.speedup_vs(cpu) == pytest.approx(
+            cpu.seconds / ours.seconds
+        )
+        assert ours.energy_improvement_vs(cpu) == pytest.approx(
+            cpu.joules / ours.joules
+        )

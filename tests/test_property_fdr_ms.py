@@ -1,0 +1,121 @@
+"""Property-based tests for FDR estimation and MS-substrate invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ms.elements import AMINO_ACIDS
+from repro.ms.peptide import Peptide
+from repro.ms.vectorize import quantize_intensities
+from repro.oms.fdr import assign_qvalues, filter_at_fdr
+from repro.oms.psm import PSM
+
+peptide_sequences = st.text(alphabet=AMINO_ACIDS, min_size=2, max_size=30)
+
+
+@st.composite
+def psm_lists(draw):
+    n = draw(st.integers(2, 60))
+    psms = []
+    for i in range(n):
+        score = draw(st.floats(0, 100, allow_nan=False))
+        is_decoy = draw(st.booleans())
+        psms.append(
+            PSM(f"q{i}", f"r{i}", f"PEP{i}/2", score, is_decoy, 0.0)
+        )
+    return psms
+
+
+class TestFdrProperties:
+    @given(psms=psm_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_qvalues_valid_and_monotone(self, psms):
+        ordered = assign_qvalues(psms)
+        qvalues = [psm.q_value for psm in ordered]
+        assert all(q is not None and 0 <= q for q in qvalues)
+        # Monotone non-decreasing down the ranked list.
+        assert all(a <= b for a, b in zip(qvalues, qvalues[1:]))
+        # Scores are non-increasing down the list.
+        scores = [psm.score for psm in ordered]
+        assert all(a >= b for a, b in zip(scores, scores[1:]))
+
+    @given(psms=psm_lists(), threshold=st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_accepted_are_targets_below_threshold(self, psms, threshold):
+        accepted = filter_at_fdr(psms, threshold)
+        for psm in accepted:
+            assert not psm.is_decoy
+            assert psm.q_value <= threshold
+
+    @given(psms=psm_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_threshold_monotonicity(self, psms):
+        strict = {psm.query_id for psm in filter_at_fdr(psms, 0.05)}
+        loose = {psm.query_id for psm in filter_at_fdr(psms, 0.5)}
+        assert strict <= loose
+
+    @given(psms=psm_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_all_decoys_accepts_nothing(self, psms):
+        for psm in psms:
+            psm.is_decoy = True
+            psm.q_value = None
+        assert filter_at_fdr(psms, 1.0) == []
+
+
+class TestPeptideProperties:
+    @given(sequence=peptide_sequences)
+    @settings(max_examples=80, deadline=None)
+    def test_mass_positive_and_additive(self, sequence):
+        peptide = Peptide(sequence)
+        assert peptide.neutral_mass > 18.0
+        # Mass of concatenation = sum of residue contributions.
+        double = Peptide(sequence + sequence)
+        water = 18.0105646863
+        assert double.neutral_mass == pytest.approx(
+            2 * (peptide.neutral_mass - water) + water, abs=1e-6
+        )
+
+    @given(sequence=peptide_sequences)
+    @settings(max_examples=60, deadline=None)
+    def test_mz_decreases_with_charge(self, sequence):
+        peptide = Peptide(sequence)
+        mzs = [peptide.precursor_mz(z) for z in (1, 2, 3, 4)]
+        assert all(a > b for a, b in zip(mzs, mzs[1:]))
+
+    @given(sequence=peptide_sequences)
+    @settings(max_examples=60, deadline=None)
+    def test_fragments_positive_and_sorted(self, sequence):
+        fragments = Peptide(sequence).fragment_mzs()
+        assert len(fragments) == 2 * (len(sequence) - 1)
+        assert np.all(fragments > 0)
+        assert np.all(np.diff(fragments) >= 0)
+
+
+class TestQuantizeProperties:
+    @given(
+        values=st.lists(st.floats(0, 1e6, allow_nan=False), min_size=1, max_size=200),
+        num_levels=st.integers(2, 64),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_levels_in_range(self, values, num_levels):
+        levels, scale = quantize_intensities(np.asarray(values), num_levels)
+        assert levels.min() >= 0
+        assert levels.max() <= num_levels - 1
+        if scale > 0:
+            # The maximum value always maps to the top level.
+            assert levels[int(np.argmax(values))] == num_levels - 1
+
+    @given(
+        values=st.lists(
+            st.floats(0.001, 1e6, allow_nan=False), min_size=2, max_size=100
+        ),
+        num_levels=st.integers(2, 32),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_order_preserving(self, values, num_levels):
+        array = np.asarray(values)
+        levels, _ = quantize_intensities(array, num_levels)
+        order = np.argsort(array, kind="stable")
+        assert np.all(np.diff(levels[order]) >= 0)

@@ -1,0 +1,145 @@
+"""Property-based tests (hypothesis) for the HDC core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.hdc.encoder import sign_with_tiebreak
+from repro.hdc.noise import flip_bits, measured_bit_error_rate
+from repro.hdc.packing import (
+    pack_bipolar,
+    pack_cells,
+    unpack_bipolar,
+    unpack_cells,
+)
+from repro.hdc.similarity import (
+    batch_dot_similarity,
+    dot_similarity,
+    hamming_similarity,
+)
+
+bipolar_vectors = lambda min_d=1, max_d=257: arrays(
+    np.int8,
+    st.integers(min_d, max_d),
+    elements=st.sampled_from([np.int8(-1), np.int8(1)]),
+)
+
+
+@st.composite
+def bipolar_pairs(draw, min_d=1, max_d=257):
+    dim = draw(st.integers(min_d, max_d))
+    make = lambda: draw(
+        arrays(np.int8, dim, elements=st.sampled_from([np.int8(-1), np.int8(1)]))
+    )
+    return make(), make()
+
+
+class TestPackingProperties:
+    @given(vector=bipolar_vectors(), bits=st.sampled_from([1, 2, 3]))
+    @settings(max_examples=80, deadline=None)
+    def test_cell_pack_roundtrip(self, vector, bits):
+        cells = pack_cells(vector, bits)
+        assert np.array_equal(unpack_cells(cells, bits, len(vector)), vector)
+        assert cells.max(initial=0) < 2**bits
+
+    @given(vector=bipolar_vectors())
+    @settings(max_examples=80, deadline=None)
+    def test_bit_pack_roundtrip(self, vector):
+        packed = pack_bipolar(vector)
+        assert np.array_equal(unpack_bipolar(packed, len(vector)), vector)
+
+    @given(vector=bipolar_vectors(), bits=st.sampled_from([1, 2, 3]))
+    @settings(max_examples=40, deadline=None)
+    def test_cell_count_is_ceiling(self, vector, bits):
+        cells = pack_cells(vector, bits)
+        assert len(cells) == -(-len(vector) // bits)
+
+
+class TestSimilarityProperties:
+    @given(pair=bipolar_pairs())
+    @settings(max_examples=80, deadline=None)
+    def test_symmetry(self, pair):
+        a, b = pair
+        assert dot_similarity(a, b) == dot_similarity(b, a)
+        assert hamming_similarity(a, b) == hamming_similarity(b, a)
+
+    @given(pair=bipolar_pairs())
+    @settings(max_examples=80, deadline=None)
+    def test_hamming_bounds_and_relation(self, pair):
+        a, b = pair
+        dim = len(a)
+        similarity = hamming_similarity(a, b)
+        assert 0 <= similarity <= dim
+        assert dot_similarity(a, b) == 2 * similarity - dim
+
+    @given(vector=bipolar_vectors())
+    @settings(max_examples=50, deadline=None)
+    def test_self_similarity_maximal(self, vector):
+        assert hamming_similarity(vector, vector) == len(vector)
+        assert hamming_similarity(vector, -vector) == 0
+
+    @given(pair=bipolar_pairs())
+    @settings(max_examples=50, deadline=None)
+    def test_batch_matches_scalar(self, pair):
+        a, b = pair
+        scores = batch_dot_similarity(a, b[np.newaxis, :])
+        assert int(scores[0]) == dot_similarity(a, b)
+
+
+class TestNoiseProperties:
+    @given(
+        vector=bipolar_vectors(min_d=64, max_d=512),
+        ber=st.floats(0.0, 0.5),
+        seed=st.integers(0, 2**20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_flip_rate_never_exceeds_alphabet(self, vector, ber, seed):
+        rng = np.random.default_rng(seed)
+        noisy = flip_bits(vector, ber, rng)
+        assert noisy.shape == vector.shape
+        assert set(np.unique(noisy)) <= {-1, 1}
+        measured = measured_bit_error_rate(vector, noisy)
+        assert 0.0 <= measured <= 1.0
+
+    @given(vector=bipolar_vectors(min_d=32), seed=st.integers(0, 2**20))
+    @settings(max_examples=40, deadline=None)
+    def test_zero_ber_identity(self, vector, seed):
+        rng = np.random.default_rng(seed)
+        assert np.array_equal(flip_bits(vector, 0.0, rng), vector)
+
+    @given(
+        vector=bipolar_vectors(min_d=64, max_d=512),
+        seed=st.integers(0, 2**20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_double_flip_at_full_rate_restores(self, vector, seed):
+        """BER=1 flips everything: flipping twice restores the input."""
+        rng = np.random.default_rng(seed)
+        flipped = flip_bits(vector, 1.0, rng)
+        assert np.array_equal(-flipped, vector)
+
+
+class TestSignProperties:
+    @given(
+        accumulator=arrays(
+            np.float64,
+            st.integers(1, 128),
+            elements=st.floats(-100, 100, allow_nan=False),
+        ),
+        seed=st.integers(0, 2**20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sign_output_always_bipolar(self, accumulator, seed):
+        rng = np.random.default_rng(seed)
+        tiebreak = (
+            rng.integers(0, 2, len(accumulator), dtype=np.int8) * 2 - 1
+        ).astype(np.int8)
+        result = sign_with_tiebreak(accumulator, tiebreak)
+        assert set(np.unique(result)) <= {-1, 1}
+        positive = accumulator > 0
+        negative = accumulator < 0
+        assert np.all(result[positive] == 1)
+        assert np.all(result[negative] == -1)
+        zero = accumulator == 0
+        assert np.all(result[zero] == tiebreak[zero])

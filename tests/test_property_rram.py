@@ -1,0 +1,112 @@
+"""Property-based tests for the RRAM device and storage invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.rram.device import DeviceConfig, RRAMDeviceModel
+from repro.rram.storage import HypervectorStore
+
+conductance_arrays = arrays(
+    np.float64,
+    st.integers(1, 256),
+    elements=st.floats(0.0, 50.0, allow_nan=False),
+)
+
+
+class TestDeviceProperties:
+    @given(
+        targets=conductance_arrays,
+        time_s=st.floats(0.0, 1e6, allow_nan=False),
+        seed=st.integers(0, 2**20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_conductances_stay_physical(self, targets, time_s, seed):
+        device = RRAMDeviceModel(seed=seed)
+        rng = np.random.default_rng(seed)
+        relaxed = device.program_and_relax(targets, time_s, rng)
+        assert relaxed.shape == targets.shape
+        assert relaxed.min() >= 0.0
+        assert relaxed.max() <= device.config.gmax_us
+
+    @given(
+        num_levels=st.integers(2, 16),
+        seed=st.integers(0, 2**20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_read_levels_inverts_targets_exactly(self, num_levels, seed):
+        """With zero noise, decode(program(level)) == level."""
+        config = DeviceConfig(
+            sigma_program_us=0.0,
+            sigma_relax_us_per_decade=0.0,
+            tail_probability_per_decade=0.0,
+            drift_fraction_per_decade=0.0,
+        )
+        device = RRAMDeviceModel(config, seed=seed)
+        levels = np.arange(num_levels)
+        targets = device.level_targets(num_levels)[levels]
+        decoded = device.read_levels(targets, num_levels)
+        assert np.array_equal(decoded, levels)
+
+    @given(
+        conductances=conductance_arrays,
+        num_levels=st.integers(2, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_read_levels_in_range(self, conductances, num_levels):
+        device = RRAMDeviceModel(seed=0)
+        levels = device.read_levels(conductances, num_levels)
+        assert levels.min() >= 0
+        assert levels.max() <= num_levels - 1
+
+    @given(time_a=st.floats(0, 1e5), time_b=st.floats(0, 1e5))
+    @settings(max_examples=40, deadline=None)
+    def test_decades_monotone_in_time(self, time_a, time_b):
+        config = DeviceConfig()
+        if time_a <= time_b:
+            assert config.decades(time_a) <= config.decades(time_b)
+        else:
+            assert config.decades(time_a) >= config.decades(time_b)
+
+
+class TestStorageProperties:
+    @given(
+        bits=st.sampled_from([1, 2, 3]),
+        dim=st.integers(12, 300),
+        rows=st.integers(1, 6),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_noiseless_roundtrip_is_identity(self, bits, dim, rows, seed):
+        config = DeviceConfig(
+            sigma_program_us=0.0,
+            sigma_relax_us_per_decade=0.0,
+            tail_probability_per_decade=0.0,
+            drift_fraction_per_decade=0.0,
+        )
+        rng = np.random.default_rng(seed)
+        hvs = (rng.integers(0, 2, (rows, dim)) * 2 - 1).astype(np.int8)
+        store = HypervectorStore(
+            bits, device=RRAMDeviceModel(config, seed=seed), seed=seed + 1
+        )
+        store.write(hvs)
+        readout = store.read(86400.0)
+        assert np.array_equal(readout.hypervectors, hvs)
+        assert readout.bit_error_rate == 0.0
+
+    @given(
+        bits=st.sampled_from([1, 2, 3]),
+        dim=st.integers(12, 200),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_readout_shape_and_alphabet(self, bits, dim, seed):
+        rng = np.random.default_rng(seed)
+        hvs = (rng.integers(0, 2, (3, dim)) * 2 - 1).astype(np.int8)
+        store = HypervectorStore(bits, seed=seed)
+        store.write(hvs)
+        readout = store.read(3600.0)
+        assert readout.hypervectors.shape == hvs.shape
+        assert set(np.unique(readout.hypervectors)) <= {-1, 1}
+        assert 0.0 <= readout.bit_error_rate <= 1.0

@@ -1,0 +1,192 @@
+"""Tests for the RRAM device model and hypervector storage."""
+
+import numpy as np
+import pytest
+
+from repro.rram.device import (
+    DEFAULT_COMPUTE_READ_TIME_S,
+    DeviceConfig,
+    PAPER_TIME_POINTS_S,
+    RRAMDeviceModel,
+)
+from repro.rram.metrics import (
+    bit_error_rate,
+    level_error_rate,
+    normalized_rmse,
+    sign_error_rate,
+)
+from repro.rram.storage import HypervectorStore
+
+
+class TestDeviceModel:
+    def test_level_targets_span_range(self):
+        device = RRAMDeviceModel(seed=1)
+        targets = device.level_targets(8)
+        assert targets[0] == 0.0
+        assert targets[-1] == pytest.approx(50.0)
+        assert len(targets) == 8
+        assert np.all(np.diff(targets) > 0)
+
+    def test_programming_noise_is_tight(self, rng):
+        device = RRAMDeviceModel(seed=1)
+        targets = np.full(20_000, 25.0)
+        programmed = device.program(targets, rng)
+        assert np.std(programmed) == pytest.approx(
+            device.config.sigma_program_us, rel=0.1
+        )
+        assert programmed.min() >= 0.0
+        assert programmed.max() <= 50.0
+
+    def test_relaxation_grows_with_time(self, rng):
+        device = RRAMDeviceModel(seed=1)
+        targets = np.full(20_000, 25.0)
+        programmed = device.program(targets, rng)
+        spreads = []
+        for time_s in (1.0, 1800.0, 86400.0):
+            relaxed = device.relax(programmed, time_s, rng)
+            spreads.append(float(np.std(relaxed)))
+        assert spreads[0] < spreads[1] < spreads[2]
+
+    def test_relax_at_time_zero_is_identity(self, rng):
+        device = RRAMDeviceModel(seed=1)
+        programmed = device.program(np.full(100, 30.0), rng)
+        relaxed = device.relax(programmed, 0.0, rng)
+        assert np.array_equal(relaxed, programmed)
+
+    def test_drift_pulls_toward_attractor(self):
+        config = DeviceConfig(
+            sigma_program_us=0.0,
+            sigma_relax_us_per_decade=0.0,
+            tail_probability_per_decade=0.0,
+            drift_fraction_per_decade=0.05,
+        )
+        device = RRAMDeviceModel(config, seed=1)
+        rng = np.random.default_rng(0)
+        high = device.relax(np.full(10, 50.0), 86400.0, rng)
+        low = device.relax(np.full(10, 0.0), 86400.0, rng)
+        assert np.all(high < 50.0)  # pulled down toward 20 µS
+        assert np.all(low > 0.0)  # pulled up toward 20 µS
+
+    def test_read_levels_nearest(self):
+        device = RRAMDeviceModel(seed=1)
+        conductances = np.array([0.0, 3.0, 4.0, 24.0, 50.0])
+        # 8 levels: spacing 50/7 = 7.142 µS.
+        levels = device.read_levels(conductances, 8)
+        assert levels.tolist() == [0, 0, 1, 3, 7]
+
+    def test_conductances_clip_to_physical_range(self, rng):
+        config = DeviceConfig(tail_probability_per_decade=0.5, tail_sigma_us=100.0)
+        device = RRAMDeviceModel(config, seed=1)
+        relaxed = device.program_and_relax(np.full(5000, 25.0), 86400.0, rng)
+        assert relaxed.min() >= 0.0
+        assert relaxed.max() <= 50.0
+
+    def test_decades_validation(self):
+        config = DeviceConfig()
+        with pytest.raises(ValueError):
+            config.decades(-1.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DeviceConfig(gmax_us=0)
+        with pytest.raises(ValueError):
+            DeviceConfig(attractor_fraction=2.0)
+        with pytest.raises(ValueError):
+            DeviceConfig(sigma_program_us=-1)
+
+    def test_paper_time_points(self):
+        assert PAPER_TIME_POINTS_S["after_1day"] == 86400.0
+        assert DEFAULT_COMPUTE_READ_TIME_S == 7200.0
+
+
+class TestHypervectorStore:
+    @pytest.mark.parametrize("bits_per_cell", [1, 2, 3])
+    def test_immediate_read_is_nearly_exact(self, rng, bits_per_cell):
+        hvs = (rng.integers(0, 2, (16, 512)) * 2 - 1).astype(np.int8)
+        store = HypervectorStore(bits_per_cell, seed=bits_per_cell)
+        store.write(hvs)
+        readout = store.read(0.0)
+        # Fresh programming: write-verify keeps cells well within level
+        # margins at every density.
+        assert readout.bit_error_rate < 0.02
+        assert readout.hypervectors.shape == hvs.shape
+
+    def test_noiseless_device_roundtrip_exact(self, rng):
+        config = DeviceConfig(
+            sigma_program_us=0.0,
+            sigma_relax_us_per_decade=0.0,
+            tail_probability_per_decade=0.0,
+            drift_fraction_per_decade=0.0,
+        )
+        for bits in (1, 2, 3):
+            hvs = (rng.integers(0, 2, (4, 127)) * 2 - 1).astype(np.int8)
+            store = HypervectorStore(
+                bits, device=RRAMDeviceModel(config, seed=1), seed=2
+            )
+            store.write(hvs)
+            readout = store.read(86400.0)
+            assert readout.bit_error_rate == 0.0
+            assert np.array_equal(readout.hypervectors, hvs)
+
+    def test_ber_ordering_by_density_after_relaxation(self, rng):
+        hvs = (rng.integers(0, 2, (32, 2048)) * 2 - 1).astype(np.int8)
+        bers = []
+        for bits in (1, 2, 3):
+            store = HypervectorStore(bits, seed=bits)
+            store.write(hvs)
+            bers.append(store.read(86400.0).bit_error_rate)
+        assert bers[0] <= bers[1] <= bers[2]
+        assert bers[2] > 0.03  # MLC density costs real errors
+
+    def test_cell_count_scales_with_density(self, rng):
+        hvs = (rng.integers(0, 2, (2, 600)) * 2 - 1).astype(np.int8)
+        counts = {}
+        for bits in (1, 2, 3):
+            store = HypervectorStore(bits, seed=1)
+            store.write(hvs)
+            counts[bits] = store.num_cells
+        assert counts[1] == 2 * 600
+        assert counts[2] == 2 * 300
+        assert counts[3] == 2 * 200
+
+    def test_read_before_write_raises(self):
+        with pytest.raises(RuntimeError):
+            HypervectorStore(2, seed=1).read(0.0)
+
+    def test_invalid_bits_per_cell(self):
+        with pytest.raises(ValueError):
+            HypervectorStore(4)
+
+
+class TestMetrics:
+    def test_bit_error_rate(self):
+        a = np.array([1, -1, 1, -1])
+        b = np.array([1, 1, 1, -1])
+        assert bit_error_rate(a, b) == pytest.approx(0.25)
+        assert level_error_rate(a, b) == pytest.approx(0.25)
+
+    def test_bit_error_rate_empty(self):
+        assert bit_error_rate(np.empty(0), np.empty(0)) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            bit_error_rate(np.ones(3), np.ones(4))
+        with pytest.raises(ValueError):
+            normalized_rmse(np.ones(3), np.ones(4))
+
+    def test_normalized_rmse(self):
+        expected = np.array([0.0, 10.0])
+        actual = np.array([1.0, 9.0])
+        # rmse = 1, scale = 10.
+        assert normalized_rmse(expected, actual) == pytest.approx(0.1)
+
+    def test_normalized_rmse_constant_expected(self):
+        expected = np.full(4, 5.0)
+        actual = expected + 1.0
+        assert normalized_rmse(expected, actual) == pytest.approx(1.0 / 5.0)
+
+    def test_sign_error_rate(self):
+        expected = np.array([3.0, -2.0, 0.0, 5.0])
+        actual = np.array([1.0, 2.0, 1.0, 5.0])
+        # mismatches: index 1 only (index 2: 0 and 1 both count as >= 0).
+        assert sign_error_rate(expected, actual) == pytest.approx(0.25)
