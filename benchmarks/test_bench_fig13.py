@@ -10,7 +10,7 @@ def test_fig13_hd_dimension(benchmark, record):
     record(result)
     dims = result.column("hd_dim")
     ideal = result.column("ideal")
-    rram = result.column(f"in_rram_3bpc")
+    rram = result.column("in_rram_3bpc")
     assert dims == sorted(dims, reverse=True)
     # Identifications degrade as the dimension shrinks (compare the
     # largest dimension against the smallest).

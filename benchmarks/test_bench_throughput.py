@@ -4,7 +4,13 @@ Not a paper figure — this measures the repository's own software
 backends (dense BLAS, packed XOR/popcount, batched dense) so regressions
 in the hot path are caught, and the relative cost of the digital paths
 can be compared against the analytical model in ``accelerator/perf.py``.
+
+``REPRO_BENCH_SCALE`` (a float, default 1.0) scales the workload; CI's
+smoke job sets it well below 1 so the benchmarks assert behaviour
+quickly rather than measure steady-state throughput.
 """
+
+import os
 
 import pytest
 
@@ -15,12 +21,17 @@ from repro.ms.vectorize import BinningConfig
 from repro.oms.batch import BatchedHDOmsSearcher
 from repro.oms.search import DenseBackend, HDOmsSearcher, PackedBackend
 
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
 
 @pytest.fixture(scope="module")
 def throughput_setup():
     workload = build_workload(
         WorkloadConfig(
-            name="throughput", num_references=1500, num_queries=100, seed=71
+            name="throughput",
+            num_references=max(50, int(1500 * BENCH_SCALE)),
+            num_queries=max(10, int(100 * BENCH_SCALE)),
+            seed=71,
         )
     )
     binning = BinningConfig()

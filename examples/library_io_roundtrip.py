@@ -53,5 +53,5 @@ with tempfile.TemporaryDirectory() as tmp:
     result = pipeline.run(queries)
     print(
         f"identified {result.num_identifications} peptides at 1% FDR "
-        f"from file-loaded data"
+        "from file-loaded data"
     )

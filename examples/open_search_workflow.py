@@ -21,6 +21,7 @@ from repro.oms import (
     HDSearchConfig,
     OmsPipeline,
     PipelineConfig,
+    analyze_modifications,
     grouped_fdr,
 )
 from repro.oms.pipeline import decoy_factory_for
@@ -79,8 +80,6 @@ for delta, count in Counter(delta_masses).most_common(6):
     print(f"  {delta:+8.2f}  x{count}")
 
 # --- 2b. the practitioner's view: automated PTM annotation ----------
-from repro.oms import analyze_modifications
-
 report = analyze_modifications(result.accepted_psms, min_count=2)
 print("\nautomated modification report:")
 print(report.render())

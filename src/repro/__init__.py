@@ -17,6 +17,9 @@ Subpackages
 ``repro.oms``
     The search engine: precursor-window candidates, HD search,
     target-decoy FDR, end-to-end pipeline.
+``repro.index``
+    Persistent encoded-library index (build once, ``.npz`` on disk,
+    memory-mapped load) and the sharded multiprocessing searcher.
 ``repro.baselines``
     ANN-SoLo-like, HyperOMS-like, and brute-force comparators.
 ``repro.rram``

@@ -22,7 +22,7 @@ the paper's own numbers cannot be reconciled with any single
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from .config import AcceleratorConfig

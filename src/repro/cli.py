@@ -1,11 +1,14 @@
-"""Command-line interface: ``hdoms``.
+"""Command-line interface: ``hdoms`` (also installed as ``repro``).
 
-Four subcommands cover the library's user-facing workflows:
+Five subcommands cover the library's user-facing workflows:
 
 * ``hdoms workload`` — generate a synthetic benchmark (MSP library +
   MGF queries + ground-truth TSV) to disk;
 * ``hdoms search`` — run the full OMS pipeline on an MSP library and
   MGF queries, writing accepted PSMs as TSV;
+* ``hdoms index build`` / ``hdoms index search`` — encode a library
+  once into a persistent ``.npz`` index, then serve any number of query
+  batches from it (optionally sharded across worker processes);
 * ``hdoms experiment`` — regenerate one (or all) of the paper's tables
   and figures and print the rows/series;
 * ``hdoms info`` — version and configuration summary.
@@ -69,6 +72,62 @@ def _add_search_parser(subparsers) -> None:
     )
 
 
+def _add_index_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "index", help="build / search a persistent encoded-library index"
+    )
+    index_sub = parser.add_subparsers(dest="index_command", required=True)
+
+    build = index_sub.add_parser(
+        "build", help="encode an MSP library once and persist it as .npz"
+    )
+    build.add_argument("--library", type=Path, required=True, help="MSP file")
+    build.add_argument(
+        "--output", type=Path, required=True, help="index file to write (.npz)"
+    )
+    build.add_argument("--dim", type=int, default=8192)
+    build.add_argument("--id-bits", type=int, choices=(1, 2, 3), default=3)
+    build.add_argument("--levels", type=int, default=32)
+    build.add_argument("--seed", type=int, default=0)
+    build.add_argument(
+        "--chunk-size",
+        type=int,
+        default=512,
+        help="spectra encoded per batch (bounds peak memory)",
+    )
+    build.add_argument(
+        "--no-decoys",
+        action="store_true",
+        help="library already contains decoys (Comment: Decoy=true)",
+    )
+
+    search = index_sub.add_parser(
+        "search", help="search MGF queries against a persisted index"
+    )
+    search.add_argument(
+        "--index", type=Path, required=True, dest="index_path", help=".npz index"
+    )
+    search.add_argument("--queries", type=Path, required=True, help="MGF file")
+    search.add_argument("--output", type=Path, help="TSV of accepted PSMs")
+    search.add_argument(
+        "--shards", type=int, default=1, help="library partitions to score"
+    )
+    search.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size (0 = no multiprocessing)",
+    )
+    search.add_argument(
+        "--mode", choices=("open", "standard", "cascade"), default="open"
+    )
+    search.add_argument("--fdr", type=float, default=0.01)
+    search.add_argument("--open-window", type=float, default=500.0)
+    search.add_argument(
+        "--backend", choices=("dense", "packed"), default="dense"
+    )
+
+
 def _add_experiment_parser(subparsers) -> None:
     parser = subparsers.add_parser(
         "experiment", help="regenerate a paper table/figure"
@@ -108,9 +167,45 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_workload_parser(subparsers)
     _add_search_parser(subparsers)
+    _add_index_parser(subparsers)
     _add_experiment_parser(subparsers)
     subparsers.add_parser("info", help="print version and defaults")
     return parser
+
+
+def _load_library(path: Path, no_decoys: bool, seed: int):
+    """Read an MSP library, appending simulator decoys unless told not to."""
+    from .ms.decoy import append_decoys
+    from .ms.msp import read_msp
+    from .ms.synthetic import REFERENCE_NOISE, SpectrumSimulator
+
+    references = list(read_msp(path))
+    if no_decoys:
+        return references
+    simulator = SpectrumSimulator(seed=seed)
+
+    def factory(peptide, charge, identifier):
+        return simulator.spectrum(
+            peptide, charge, identifier, noise=REFERENCE_NOISE
+        )
+
+    return append_decoys(references, factory, seed=seed)
+
+
+def _write_psm_tsv(path: Path, accepted) -> None:
+    """Write accepted PSMs in the standard TSV layout."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(
+            "query_id\treference_id\tpeptide\tscore\tq_value\t"
+            "mass_difference_da\tmode\n"
+        )
+        for psm in sorted(accepted, key=lambda p: -p.score):
+            handle.write(
+                f"{psm.query_id}\t{psm.reference_id}\t"
+                f"{psm.peptide_key or '-'}\t{psm.score:.1f}\t"
+                f"{psm.q_value:.5f}\t{psm.precursor_mass_difference:+.4f}\t"
+                f"{psm.mode}\n"
+            )
 
 
 def cmd_workload(args) -> int:
@@ -156,10 +251,7 @@ def cmd_search(args) -> int:
     from .constants import DEFAULT_STANDARD_WINDOW_DA
     from .hdc.encoder import SpectrumEncoder
     from .hdc.spaces import HDSpace, HDSpaceConfig
-    from .ms.decoy import append_decoys
     from .ms.mgf import read_mgf
-    from .ms.msp import read_msp
-    from .ms.synthetic import REFERENCE_NOISE, SpectrumSimulator
     from .ms.vectorize import BinningConfig
     from .oms.candidates import WindowConfig
     from .oms.fdr import grouped_fdr
@@ -170,16 +262,9 @@ def cmd_search(args) -> int:
         PackedBackend,
     )
 
-    references = list(read_msp(args.library))
+    references = _load_library(args.library, args.no_decoys, args.seed)
     queries = list(read_mgf(args.queries))
-    print(f"loaded {len(references)} references, {len(queries)} queries")
-    if not args.no_decoys:
-        simulator = SpectrumSimulator(seed=args.seed)
-        factory = lambda pep, charge, ident: simulator.spectrum(
-            pep, charge, ident, noise=REFERENCE_NOISE
-        )
-        references = append_decoys(references, factory, seed=args.seed)
-        print(f"library with decoys: {len(references)}")
+    print(f"library (incl. decoys): {len(references)}, queries: {len(queries)}")
 
     binning = BinningConfig()
     windows = WindowConfig(
@@ -234,18 +319,93 @@ def cmd_search(args) -> int:
         f"in {result.elapsed_seconds:.2f}s on backend {result.backend_name!r}"
     )
     if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(
-                "query_id\treference_id\tpeptide\tscore\tq_value\t"
-                "mass_difference_da\tmode\n"
-            )
-            for psm in sorted(accepted, key=lambda p: -p.score):
-                handle.write(
-                    f"{psm.query_id}\t{psm.reference_id}\t"
-                    f"{psm.peptide_key or '-'}\t{psm.score:.1f}\t"
-                    f"{psm.q_value:.5f}\t{psm.precursor_mass_difference:+.4f}\t"
-                    f"{psm.mode}\n"
-                )
+        _write_psm_tsv(args.output, accepted)
+        print(f"wrote PSMs -> {args.output}")
+    return 0
+
+
+def cmd_index(args) -> int:
+    if args.index_command == "build":
+        return _cmd_index_build(args)
+    if args.index_command == "search":
+        return _cmd_index_search(args)
+    raise AssertionError(f"unhandled index command {args.index_command!r}")
+
+
+def _cmd_index_build(args) -> int:
+    import time
+
+    from .hdc.spaces import HDSpaceConfig
+    from .index import LibraryIndex
+    from .ms.vectorize import BinningConfig
+
+    references = _load_library(args.library, args.no_decoys, args.seed)
+    print(f"library (incl. decoys): {len(references)}")
+    binning = BinningConfig()
+    start = time.perf_counter()
+    index = LibraryIndex.build(
+        references,
+        space_config=HDSpaceConfig(
+            dim=args.dim,
+            num_bins=binning.num_bins,
+            num_levels=args.levels,
+            id_precision_bits=args.id_bits,
+            seed=args.seed,
+        ),
+        binning=binning,
+        chunk_size=args.chunk_size,
+        source=str(args.library),
+    )
+    build_seconds = time.perf_counter() - start
+    saved = index.save(args.output)
+    print(index.summary())
+    print(
+        f"encoded {index.num_references} references in {build_seconds:.2f}s "
+        f"-> {saved} ({saved.stat().st_size / 1024:.0f} KiB)"
+    )
+    return 0
+
+
+def _cmd_index_search(args) -> int:
+    import time
+
+    from .constants import DEFAULT_STANDARD_WINDOW_DA
+    from .index import LibraryIndex, ShardedSearcher
+    from .ms.mgf import read_mgf
+    from .oms.candidates import WindowConfig
+    from .oms.fdr import grouped_fdr
+    from .oms.search import HDSearchConfig
+
+    start = time.perf_counter()
+    index = LibraryIndex.load(args.index_path)
+    load_seconds = time.perf_counter() - start
+    print(index.summary())
+    print(f"loaded index in {load_seconds * 1000:.1f} ms (encoding skipped)")
+
+    queries = list(read_mgf(args.queries))
+    windows = WindowConfig(
+        standard_tolerance_da=DEFAULT_STANDARD_WINDOW_DA,
+        open_window_da=args.open_window,
+    )
+    with ShardedSearcher(
+        index,
+        num_shards=args.shards,
+        windows=windows,
+        config=HDSearchConfig(mode=args.mode),
+        backend=args.backend,
+        num_workers=args.workers,
+    ) as searcher:
+        result = searcher.search(queries)
+    accepted = grouped_fdr(result.psms, args.fdr)
+    peptides = {psm.peptide_key for psm in accepted if psm.peptide_key}
+    modified = sum(1 for psm in accepted if psm.is_modified_match)
+    print(
+        f"accepted {len(accepted)} PSMs at {args.fdr:.0%} FDR "
+        f"({len(peptides)} unique peptides, {modified} modified) "
+        f"in {result.elapsed_seconds:.2f}s on backend {result.backend_name!r}"
+    )
+    if args.output:
+        _write_psm_tsv(args.output, accepted)
         print(f"wrote PSMs -> {args.output}")
     return 0
 
@@ -290,7 +450,7 @@ def cmd_info() -> int:
     print(f"  default m/z bin width : {DEFAULT_BIN_WIDTH} Da")
     print(f"  default open window   : +-{DEFAULT_OPEN_WINDOW_DA} Da")
     print(f"  default FDR threshold : {DEFAULT_FDR_THRESHOLD:.0%}")
-    print("  subcommands           : workload, search, experiment, info")
+    print("  subcommands           : workload, search, index, experiment, info")
     return 0
 
 
@@ -300,6 +460,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_workload(args)
     if args.command == "search":
         return cmd_search(args)
+    if args.command == "index":
+        return cmd_index(args)
     if args.command == "experiment":
         return cmd_experiment(args)
     if args.command == "info":

@@ -32,7 +32,7 @@ from ..ms.vectorize import BinningConfig
 from ..oms.fdr import assign_qvalues, filter_at_fdr, grouped_fdr
 from ..oms.pipeline import decoy_factory_for
 from ..oms.search import HDOmsSearcher
-from ..rram.adc import ADC, ADCConfig
+from ..rram.adc import ADC
 from ..rram.crossbar import CrossbarConfig
 from ..rram.device import DEFAULT_COMPUTE_READ_TIME_S, RRAMDeviceModel
 from ..rram.metrics import normalized_rmse

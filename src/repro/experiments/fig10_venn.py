@@ -13,7 +13,6 @@ this work's total is comparable to the baselines'.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Dict, Optional, Set
 
 from ..accelerator.accelerator import OmsAccelerator

@@ -10,7 +10,7 @@ spectrum).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Sequence, Union
 
 import numpy as np
 

@@ -9,8 +9,6 @@ cell values used by the RRAM storage experiments.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 

@@ -1,0 +1,34 @@
+"""Persistent encoded-library index and sharded parallel search.
+
+The expensive half of open modification search — encoding a spectral
+library into hypervectors — is a pure function of (space config, binning
+config, preprocessing config, library).  :class:`LibraryIndex` runs that
+function once, persists the packed hypervectors together with the exact
+configuration provenance to a single ``.npz`` file, and memory-maps the
+bit matrix back on load so a service process can start searching without
+re-paying the build cost (the same amortisation argument HyperOMS makes
+for GPUs and ANN-SoLo makes for its on-disk ANN index).
+
+:class:`ShardedSearcher` consumes a loaded index, partitions it into N
+row shards, and fans query batches across a ``multiprocessing`` pool;
+workers score their shard through the existing
+:class:`~repro.oms.search.SimilarityBackend` protocol and the parent
+merges per-query bests.  Results are bit-identical to
+:class:`~repro.oms.search.HDOmsSearcher`.
+"""
+
+from .library import (
+    INDEX_FORMAT_VERSION,
+    IndexCompatibilityError,
+    LibraryIndex,
+    ReferenceRecord,
+)
+from .sharded import ShardedSearcher
+
+__all__ = [
+    "INDEX_FORMAT_VERSION",
+    "IndexCompatibilityError",
+    "LibraryIndex",
+    "ReferenceRecord",
+    "ShardedSearcher",
+]

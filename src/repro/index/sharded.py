@@ -1,0 +1,414 @@
+"""Sharded parallel open search over a loaded :class:`LibraryIndex`.
+
+The index rows are partitioned into N contiguous shards; each query
+batch is encoded once in the parent and fanned out to a
+``multiprocessing`` pool where workers score their shard through the
+existing :class:`~repro.oms.search.SimilarityBackend` protocol.  The
+parent merges per-query shard winners with the exact tie-break the
+single-process searcher applies (highest score, then lowest precursor
+mass, then lowest library position), so results are **bit-identical** to
+:class:`~repro.oms.search.HDOmsSearcher` for every mode, shard count,
+and worker count.
+
+Shard payloads stay bit-packed until they reach a worker (8x less data
+to fork/pickle); workers unpack lazily and cache the prepared backend,
+so the per-search cost after warm-up is just the query batch shipping
+plus the score merge.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..hdc.noise import flip_bits
+from ..hdc.packing import pack_bipolar, unpack_bipolar
+from ..ms.preprocessing import PreprocessingConfig, preprocess
+from ..ms.spectrum import Spectrum
+from ..oms.candidates import WindowConfig
+from ..oms.psm import PSM, SearchResult
+from ..oms.search import DenseBackend, HDSearchConfig, PackedBackend
+from .library import LibraryIndex
+
+#: Named backend factories usable across process boundaries.
+BACKEND_FACTORIES: Dict[str, Callable] = {
+    "dense": DenseBackend,
+    "packed": PackedBackend,
+}
+
+#: Per-process worker state, populated by the pool initializer.
+_WORKER_STATE: Dict[str, Dict] = {}
+
+
+def _resolve_backend(backend: Union[str, Callable]) -> Callable:
+    if callable(backend):
+        return backend
+    try:
+        return BACKEND_FACTORIES[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of "
+            f"{sorted(BACKEND_FACTORIES)} or a factory callable"
+        ) from None
+
+
+class _ShardScorer:
+    """One shard's prepared backend plus its per-charge mass index."""
+
+    def __init__(self, payload: Dict) -> None:
+        dim = int(payload["dim"])
+        packed = np.asarray(payload["packed"])
+        self.backend = _resolve_backend(payload["backend"])()
+        if hasattr(self.backend, "prepare_packed"):
+            # The payload already uses pack_bipolar layout — skip the
+            # unpack/re-pack round trip (8x transient memory otherwise).
+            self.backend.prepare_packed(packed, dim)
+        else:
+            self.backend.prepare(unpack_bipolar(packed, dim))
+        self.global_positions = np.asarray(payload["positions"])
+        masses = np.asarray(payload["masses"], dtype=np.float64)
+        charges = np.asarray(payload["charges"], dtype=np.int64)
+        self.charge_aware = bool(payload["charge_aware"])
+        # Mirrors CandidateIndex: stable mass sort per charge bucket, so
+        # equal-mass ties stay ordered by (global) library position.
+        self._buckets: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        if self.charge_aware:
+            for charge in np.unique(charges):
+                local = np.flatnonzero(charges == charge)
+                order = np.argsort(masses[local], kind="stable")
+                local = local[order]
+                self._buckets[int(charge)] = (masses[local], local)
+        else:
+            order = np.argsort(masses, kind="stable")
+            self._buckets[0] = (masses[order], np.arange(len(masses))[order])
+
+    def score_batch(
+        self,
+        query_hvs: np.ndarray,
+        query_masses: np.ndarray,
+        query_charges: np.ndarray,
+        half_width: float,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Best candidate per query within this shard.
+
+        Returns ``(counts, best_scores, best_masses, best_positions)``
+        where empty windows yield ``(0, -inf, +inf, -1)`` so they lose
+        every merge comparison.
+        """
+        num_queries = len(query_masses)
+        counts = np.zeros(num_queries, dtype=np.int64)
+        best_scores = np.full(num_queries, -np.inf, dtype=np.float64)
+        best_masses = np.full(num_queries, np.inf, dtype=np.float64)
+        best_positions = np.full(num_queries, -1, dtype=np.int64)
+        for row in range(num_queries):
+            key = int(query_charges[row]) if self.charge_aware else 0
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                continue
+            sorted_masses, local_positions = bucket
+            low = np.searchsorted(
+                sorted_masses, query_masses[row] - half_width, "left"
+            )
+            high = np.searchsorted(
+                sorted_masses, query_masses[row] + half_width, "right"
+            )
+            if high <= low:
+                continue
+            window = local_positions[low:high]
+            scores = self.backend.scores(query_hvs[row], window)
+            best = int(np.argmax(scores))
+            counts[row] = high - low
+            best_scores[row] = float(scores[best])
+            best_masses[row] = float(sorted_masses[low + best])
+            best_positions[row] = int(self.global_positions[window[best]])
+        return counts, best_scores, best_masses, best_positions
+
+
+def _init_worker(payloads: List[Dict]) -> None:
+    """Pool initializer: stash shard payloads; scorers build lazily."""
+    _WORKER_STATE["payloads"] = {p["shard_id"]: p for p in payloads}
+    _WORKER_STATE["scorers"] = {}
+
+
+def _score_shard_task(task) -> Tuple:
+    """Score one (shard, query batch) pair inside a worker process."""
+    shard_id, query_hvs, query_masses, query_charges, half_width = task
+    scorer = _WORKER_STATE["scorers"].get(shard_id)
+    if scorer is None:
+        scorer = _ShardScorer(_WORKER_STATE["payloads"][shard_id])
+        _WORKER_STATE["scorers"][shard_id] = scorer
+    return (shard_id,) + scorer.score_batch(
+        query_hvs, query_masses, query_charges, half_width
+    )
+
+
+class ShardedSearcher:
+    """Fan open-modification search across index shards and processes.
+
+    Parameters
+    ----------
+    index:
+        A built or loaded :class:`LibraryIndex`.
+    num_shards:
+        Number of contiguous row partitions (each becomes one scoring
+        task per query batch).
+    num_workers:
+        Process-pool size; ``None`` picks ``min(num_shards, cpu_count)``
+        and ``0`` disables multiprocessing entirely (shards are scored
+        serially in-process — handy for tests and tiny workloads).
+    backend:
+        ``"dense"``, ``"packed"``, or a picklable zero-argument factory
+        returning a :class:`~repro.oms.search.SimilarityBackend`.
+    encoder:
+        Optional pre-built query encoder; validated against the index
+        provenance.  By default the encoder is reconstructed from the
+        index so a loaded file is fully self-contained.
+    """
+
+    def __init__(
+        self,
+        index: LibraryIndex,
+        num_shards: int = 2,
+        preprocessing: Optional[PreprocessingConfig] = None,
+        windows: Optional[WindowConfig] = None,
+        config: Optional[HDSearchConfig] = None,
+        backend: Union[str, Callable] = "dense",
+        num_workers: Optional[int] = None,
+        encoder=None,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if num_shards > index.num_references:
+            raise ValueError(
+                f"cannot split {index.num_references} references into "
+                f"{num_shards} shards"
+            )
+        if encoder is not None:
+            index.validate(encoder.space.config, encoder.binning)
+        _resolve_backend(backend)  # fail fast on bad names
+        self.index = index
+        self.num_shards = num_shards
+        self.encoder = encoder if encoder is not None else index.make_encoder()
+        self.preprocessing = preprocessing or index.preprocessing
+        self.windows = windows or WindowConfig()
+        self.config = config or HDSearchConfig()
+        self._backend = backend
+        self._backend_label = backend if isinstance(backend, str) else getattr(
+            backend, "__name__", "custom"
+        )
+        self._noise_rng = np.random.default_rng(self.config.noise_seed)
+        if num_workers is None:
+            num_workers = min(num_shards, os.cpu_count() or 1)
+        self._num_workers = num_workers
+        self._pool = None
+        self._serial_scorers: Dict[int, _ShardScorer] = {}
+
+        self.references = index.records()
+        packed = np.asarray(index.packed)
+        if self.config.reference_ber > 0:
+            # Same RNG draw order as HDOmsSearcher: one flip pass over
+            # the full matrix before any query is touched.
+            noisy = flip_bits(
+                index.hypervectors(), self.config.reference_ber, self._noise_rng
+            )
+            packed = pack_bipolar(noisy)
+        self._payloads = self._make_payloads(packed)
+
+    # ------------------------------------------------------------------
+    # sharding / pool plumbing
+    # ------------------------------------------------------------------
+
+    def _make_payloads(self, packed: np.ndarray) -> List[Dict]:
+        payloads = []
+        for shard_id, positions in enumerate(
+            np.array_split(np.arange(self.index.num_references), self.num_shards)
+        ):
+            payloads.append(
+                {
+                    "shard_id": shard_id,
+                    "positions": positions,
+                    "packed": np.ascontiguousarray(packed[positions]),
+                    "dim": self.index.dim,
+                    "masses": self.index.neutral_masses[positions],
+                    "charges": self.index.charges[positions],
+                    "backend": self._backend,
+                    "charge_aware": self.windows.charge_aware,
+                }
+            )
+        return payloads
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            context = multiprocessing.get_context()
+            self._pool = context.Pool(
+                processes=self._num_workers,
+                initializer=_init_worker,
+                initargs=(self._payloads,),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ShardedSearcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+
+    @property
+    def num_references(self) -> int:
+        return len(self.references)
+
+    @property
+    def backend_name(self) -> str:
+        return f"sharded-{self._backend_label}x{self.num_shards}"
+
+    def _score_all_shards(
+        self,
+        query_hvs: np.ndarray,
+        query_masses: np.ndarray,
+        query_charges: np.ndarray,
+        half_width: float,
+    ) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+        tasks = [
+            (
+                payload["shard_id"],
+                query_hvs,
+                query_masses,
+                query_charges,
+                half_width,
+            )
+            for payload in self._payloads
+        ]
+        if self._num_workers == 0:
+            raw = [_score_serial(self._serial_scorers, self._payloads, task) for task in tasks]
+        else:
+            raw = self._ensure_pool().map(_score_shard_task, tasks)
+        by_shard = {result[0]: result[1:] for result in raw}
+        return [by_shard[shard_id] for shard_id in range(self.num_shards)]
+
+    def _run_pass(
+        self,
+        pairs: Sequence[Tuple[Spectrum, np.ndarray]],
+        mode: str,
+    ) -> List[Optional[PSM]]:
+        """One windowed scoring pass over already-encoded queries."""
+        query_hvs = np.stack([hv for _, hv in pairs])
+        query_masses = np.array([q.neutral_mass for q, _ in pairs])
+        query_charges = np.array(
+            [q.precursor_charge for q, _ in pairs], dtype=np.int64
+        )
+        half_width = (
+            self.windows.standard_tolerance_da
+            if mode == "standard"
+            else self.windows.open_window_da
+        )
+        per_shard = self._score_all_shards(
+            query_hvs, query_masses, query_charges, half_width
+        )
+        counts = np.stack([shard[0] for shard in per_shard])
+        scores = np.stack([shard[1] for shard in per_shard])
+        masses = np.stack([shard[2] for shard in per_shard])
+        positions = np.stack([shard[3] for shard in per_shard])
+        totals = counts.sum(axis=0)
+        # Winner per query: max score, ties to lowest reference mass,
+        # then lowest library position — exactly HDOmsSearcher's argmax
+        # over its mass-sorted candidate window.
+        winner = np.lexsort((positions, masses, -scores), axis=0)[0]
+
+        results: List[Optional[PSM]] = []
+        for column, (query, _hv) in enumerate(pairs):
+            if totals[column] == 0 or totals[column] < self.config.min_candidates:
+                results.append(None)
+                continue
+            shard = int(winner[column])
+            reference = self.references[int(positions[shard, column])]
+            results.append(
+                PSM(
+                    query_id=query.identifier,
+                    reference_id=reference.identifier,
+                    peptide_key=reference.peptide_key(),
+                    score=float(scores[shard, column]),
+                    is_decoy=reference.is_decoy,
+                    precursor_mass_difference=query.neutral_mass
+                    - reference.neutral_mass,
+                    mode=mode,
+                )
+            )
+        return results
+
+    def search(self, queries: Sequence[Spectrum]) -> SearchResult:
+        """Search all queries; PSM stream identical to HDOmsSearcher."""
+        start = time.perf_counter()
+        pairs: List[Tuple[Spectrum, np.ndarray]] = []
+        unmatched = 0
+        for query in queries:
+            processed = preprocess(query, self.preprocessing)
+            if processed is None:
+                unmatched += 1
+                continue
+            query_hv = self.encoder.encode(processed)
+            if self.config.query_ber > 0:
+                query_hv = flip_bits(
+                    query_hv, self.config.query_ber, self._noise_rng
+                )
+            pairs.append((query, query_hv))
+
+        results: List[Optional[PSM]] = []
+        if pairs:
+            if self.config.mode == "cascade":
+                results = self._run_pass(pairs, "standard")
+                retry = [
+                    column
+                    for column, psm in enumerate(results)
+                    if psm is None
+                ]
+                if retry:
+                    reopened = self._run_pass(
+                        [pairs[column] for column in retry], "open"
+                    )
+                    for column, psm in zip(retry, reopened):
+                        results[column] = psm
+            else:
+                results = self._run_pass(pairs, self.config.mode)
+
+        psms = [psm for psm in results if psm is not None]
+        unmatched += sum(1 for psm in results if psm is None)
+        return SearchResult(
+            psms=psms,
+            num_queries=len(queries),
+            num_unmatched=unmatched,
+            elapsed_seconds=time.perf_counter() - start,
+            backend_name=self.backend_name,
+        )
+
+
+def _score_serial(
+    scorers: Dict[int, _ShardScorer], payloads: List[Dict], task
+) -> Tuple:
+    """In-process fallback used when ``num_workers=0``."""
+    shard_id = task[0]
+    scorer = scorers.get(shard_id)
+    if scorer is None:
+        scorer = _ShardScorer(payloads[shard_id])
+        scorers[shard_id] = scorer
+    return (shard_id,) + scorer.score_batch(*task[1:])

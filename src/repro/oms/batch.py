@@ -15,7 +15,7 @@ gather + matmul per query.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,6 +24,9 @@ from ..ms.preprocessing import PreprocessingConfig, preprocess
 from ..ms.spectrum import Spectrum
 from .candidates import WindowConfig
 from .psm import PSM, SearchResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..index.library import LibraryIndex
 
 
 class BatchedHDOmsSearcher:
@@ -67,11 +70,22 @@ class BatchedHDOmsSearcher:
         hvs = encoder.encode_batch([p for _, p in kept])
         if reference_ber > 0:
             hvs = flip_bits(hvs, reference_ber, self._noise_rng)
+        self._build_buckets(hvs)
 
-        # Charge buckets: references sorted by neutral mass within each.
+    def _build_buckets(self, hvs: np.ndarray) -> None:
+        """Charge buckets: references sorted by neutral mass within each.
+
+        With ``charge_aware=False`` everything lands in bucket 0,
+        matching how ``search`` keys queries (and CandidateIndex).
+        """
         self._buckets: Dict[int, Dict[str, np.ndarray]] = {}
         masses = np.array([ref.neutral_mass for ref in self.references])
-        charges = np.array([ref.precursor_charge for ref in self.references])
+        if self.windows.charge_aware:
+            charges = np.array(
+                [ref.precursor_charge for ref in self.references]
+            )
+        else:
+            charges = np.zeros(len(self.references), dtype=np.int64)
         for charge in np.unique(charges):
             positions = np.flatnonzero(charges == charge)
             order = np.argsort(masses[positions], kind="stable")
@@ -81,6 +95,43 @@ class BatchedHDOmsSearcher:
                 "masses": masses[sorted_positions],
                 "hvs": hvs[sorted_positions].astype(np.float32),
             }
+
+    @classmethod
+    def from_index(
+        cls,
+        index: "LibraryIndex",
+        windows: Optional[WindowConfig] = None,
+        mode: str = "open",
+        query_ber: float = 0.0,
+        reference_ber: float = 0.0,
+        noise_seed: int = 1234,
+        encoder=None,
+    ) -> "BatchedHDOmsSearcher":
+        """Build the batched searcher from a persisted library index.
+
+        Same amortisation as :meth:`HDOmsSearcher.from_index`: reference
+        preprocessing and encoding are skipped, query preprocessing and
+        the encoder come from the index provenance.
+        """
+        if mode not in ("open", "standard"):
+            raise ValueError(
+                f"batched search supports 'open'/'standard', got {mode!r}"
+            )
+        if encoder is not None:
+            index.validate(encoder.space.config, encoder.binning)
+        searcher = cls.__new__(cls)
+        searcher.encoder = encoder if encoder is not None else index.make_encoder()
+        searcher.preprocessing = index.preprocessing
+        searcher.windows = windows or WindowConfig()
+        searcher.mode = mode
+        searcher._noise_rng = np.random.default_rng(noise_seed)
+        searcher.query_ber = query_ber
+        searcher.references = index.records()
+        hvs = index.hypervectors()
+        if reference_ber > 0:
+            hvs = flip_bits(hvs, reference_ber, searcher._noise_rng)
+        searcher._build_buckets(hvs)
+        return searcher
 
     @property
     def num_references(self) -> int:

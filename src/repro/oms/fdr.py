@@ -72,7 +72,8 @@ def grouped_fdr(
     the two biases the estimate against modified identifications.
     """
     if group_key is None:
-        group_key = lambda psm: "open" if psm.is_modified_match else "standard"
+        def group_key(psm):
+            return "open" if psm.is_modified_match else "standard"
     groups: Dict[str, List[PSM]] = {}
     for psm in psms:
         groups.setdefault(group_key(psm), []).append(psm)

@@ -15,8 +15,6 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from ..ms.modifications import COMMON_MODIFICATIONS, ModificationType
 from .psm import PSM
 

@@ -122,6 +122,41 @@ class OmsPipeline:
         self._setup_timings = timings
 
     @classmethod
+    def from_index(
+        cls,
+        index,
+        config: Optional[PipelineConfig] = None,
+        backend: Optional[SimilarityBackend] = None,
+    ) -> "OmsPipeline":
+        """Bind the pipeline to a persisted :class:`~repro.index.LibraryIndex`.
+
+        The library in the index is used as-is (decoys are expected to
+        have been appended before the index was built) and reference
+        encoding is skipped entirely.  The ``space``/``binning``/
+        ``preprocessing`` members of *config* are superseded by the
+        index provenance; ``windows``, ``search`` and the FDR knobs
+        still apply.
+        """
+        pipeline = cls.__new__(cls)
+        pipeline.config = config or PipelineConfig()
+        start = time.perf_counter()
+        pipeline.library = index.records()
+        pipeline.encoder = index.make_encoder()
+        pipeline.searcher = HDOmsSearcher.from_index(
+            index,
+            windows=pipeline.config.windows,
+            config=pipeline.config.search,
+            backend=backend,
+            encoder=pipeline.encoder,
+        )
+        pipeline._setup_timings = {
+            "decoy_generation": 0.0,
+            "reference_encoding": 0.0,
+            "index_load": time.perf_counter() - start,
+        }
+        return pipeline
+
+    @classmethod
     def from_workload(
         cls,
         workload: SyntheticWorkload,

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Protocol, Sequence
+from typing import TYPE_CHECKING, List, Optional, Protocol, Sequence
 
 import numpy as np
 
@@ -25,6 +25,9 @@ from ..ms.preprocessing import PreprocessingConfig, preprocess
 from ..ms.spectrum import Spectrum
 from .candidates import CandidateIndex, WindowConfig
 from .psm import PSM, SearchResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..index.library import LibraryIndex
 
 
 class SimilarityBackend(Protocol):
@@ -71,6 +74,15 @@ class PackedBackend:
     def prepare(self, reference_hvs: np.ndarray) -> None:
         self._dim = reference_hvs.shape[1]
         self._packed = pack_bipolar(reference_hvs)
+
+    def prepare_packed(self, packed: np.ndarray, dim: int) -> None:
+        """Adopt an already bit-packed matrix (pack_bipolar layout).
+
+        Lets index-backed callers hand over persisted packed rows
+        without a decode/re-encode round trip.
+        """
+        self._dim = dim
+        self._packed = np.asarray(packed)
 
     def scores(self, query_hv: np.ndarray, positions: np.ndarray) -> np.ndarray:
         if self._packed is None:
@@ -156,6 +168,45 @@ class HDOmsSearcher:
         self.reference_hvs = reference_hvs
         self.backend.prepare(reference_hvs)
         self.index = CandidateIndex(self.references, self.windows)
+
+    @classmethod
+    def from_index(
+        cls,
+        index: "LibraryIndex",
+        windows: Optional[WindowConfig] = None,
+        config: Optional[HDSearchConfig] = None,
+        backend: Optional[SimilarityBackend] = None,
+        encoder=None,
+    ) -> "HDOmsSearcher":
+        """Build a searcher from a persisted library index.
+
+        Skips reference preprocessing *and* encoding entirely: the
+        hypervectors and metadata come straight from the index, and the
+        query-side encoder is reconstructed from the index's stored
+        configuration (pass ``encoder`` to share one; it is validated
+        against the index provenance).  Query preprocessing uses the
+        exact config the index was built with, so results match a
+        searcher built from the original spectra bit for bit.
+        """
+        if encoder is not None:
+            index.validate(encoder.space.config, encoder.binning)
+        searcher = cls.__new__(cls)
+        searcher.encoder = encoder if encoder is not None else index.make_encoder()
+        searcher.preprocessing = index.preprocessing
+        searcher.windows = windows or WindowConfig()
+        searcher.config = config or HDSearchConfig()
+        searcher.backend = backend or DenseBackend()
+        searcher._noise_rng = np.random.default_rng(searcher.config.noise_seed)
+        searcher.references = index.records()
+        reference_hvs = index.hypervectors()
+        if searcher.config.reference_ber > 0:
+            reference_hvs = flip_bits(
+                reference_hvs, searcher.config.reference_ber, searcher._noise_rng
+            )
+        searcher.reference_hvs = reference_hvs
+        searcher.backend.prepare(reference_hvs)
+        searcher.index = CandidateIndex(searcher.references, searcher.windows)
+        return searcher
 
     @property
     def num_references(self) -> int:

@@ -22,7 +22,7 @@ Implements the paper's compute fabric (Section 4.1):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np

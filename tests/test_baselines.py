@@ -6,7 +6,7 @@ import pytest
 from repro.baselines.annsolo import AnnSoloSearcher, shifted_dot_product
 from repro.baselines.brute_force import BruteForceSearcher
 from repro.baselines.hyperoms import HyperOmsSearcher
-from repro.ms.vectorize import BinningConfig, SparseVector
+from repro.ms.vectorize import SparseVector
 
 
 def sparse(indices, values, num_bins=100):

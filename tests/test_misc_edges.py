@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.rram.adc import ADC, ADCConfig
+from repro.rram.adc import ADC
 from repro.rram.crossbar import CrossbarConfig, sense_chunk
 from repro.rram.device import RRAMDeviceModel
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.oms.modification_analysis import (
-    DeltaMassPeak,
     analyze_modifications,
     annotate_delta_mass,
     delta_mass_histogram,

@@ -38,9 +38,8 @@ class TestDecoySequences:
 
     def test_decoy_spectrum_preserves_precursor(self, small_workload):
         simulator = SpectrumSimulator(seed=0)
-        factory = lambda pep, charge, ident: simulator.spectrum(
-            pep, charge, ident, noise=REFERENCE_NOISE
-        )
+        def factory(pep, charge, ident):
+            return simulator.spectrum(pep, charge, ident, noise=REFERENCE_NOISE)
         reference = small_workload.references[0]
         decoy = make_decoy_spectrum(reference, factory, random.Random(2))
         assert decoy is not None
@@ -53,9 +52,8 @@ class TestDecoySequences:
 
     def test_append_decoys_doubles_library(self, small_workload):
         simulator = SpectrumSimulator(seed=0)
-        factory = lambda pep, charge, ident: simulator.spectrum(
-            pep, charge, ident, noise=REFERENCE_NOISE
-        )
+        def factory(pep, charge, ident):
+            return simulator.spectrum(pep, charge, ident, noise=REFERENCE_NOISE)
         library = append_decoys(small_workload.references, factory, seed=3)
         targets = [s for s in library if not s.is_decoy]
         decoys = [s for s in library if s.is_decoy]
@@ -65,9 +63,8 @@ class TestDecoySequences:
 
     def test_append_decoys_deterministic(self, small_workload):
         simulator = SpectrumSimulator(seed=0)
-        factory = lambda pep, charge, ident: simulator.spectrum(
-            pep, charge, ident, noise=REFERENCE_NOISE
-        )
+        def factory(pep, charge, ident):
+            return simulator.spectrum(pep, charge, ident, noise=REFERENCE_NOISE)
         a = append_decoys(small_workload.references, factory, seed=3)
         b = append_decoys(small_workload.references, factory, seed=3)
         assert [s.identifier for s in a] == [s.identifier for s in b]

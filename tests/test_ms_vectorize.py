@@ -6,7 +6,6 @@ import pytest
 from repro.ms.spectrum import Spectrum
 from repro.ms.vectorize import (
     BinningConfig,
-    SparseVector,
     cosine_similarity,
     quantize_intensities,
     vectorize,

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.ms.peptide import Peptide
 from repro.ms.spectrum import Spectrum
 from repro.oms.candidates import CandidateIndex, WindowConfig
 from repro.oms.fdr import (

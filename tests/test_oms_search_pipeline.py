@@ -6,7 +6,7 @@ import pytest
 from repro.hdc.encoder import SpectrumEncoder
 from repro.hdc.spaces import HDSpace, HDSpaceConfig
 from repro.ms.vectorize import BinningConfig
-from repro.oms.pipeline import OmsPipeline, PipelineConfig, decoy_factory_for
+from repro.oms.pipeline import OmsPipeline, PipelineConfig
 from repro.oms.search import (
     DenseBackend,
     HDOmsSearcher,

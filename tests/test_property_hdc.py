@@ -19,19 +19,21 @@ from repro.hdc.similarity import (
     hamming_similarity,
 )
 
-bipolar_vectors = lambda min_d=1, max_d=257: arrays(
-    np.int8,
-    st.integers(min_d, max_d),
-    elements=st.sampled_from([np.int8(-1), np.int8(1)]),
-)
+def bipolar_vectors(min_d=1, max_d=257):
+    return arrays(
+        np.int8,
+        st.integers(min_d, max_d),
+        elements=st.sampled_from([np.int8(-1), np.int8(1)]),
+    )
 
 
 @st.composite
 def bipolar_pairs(draw, min_d=1, max_d=257):
     dim = draw(st.integers(min_d, max_d))
-    make = lambda: draw(
-        arrays(np.int8, dim, elements=st.sampled_from([np.int8(-1), np.int8(1)]))
-    )
+    def make():
+        return draw(
+            arrays(np.int8, dim, elements=st.sampled_from([np.int8(-1), np.int8(1)]))
+        )
     return make(), make()
 
 
