@@ -20,6 +20,9 @@ Subpackages
 ``repro.index``
     Persistent encoded-library index (build once, ``.npz`` on disk,
     memory-mapped load) and the sharded multiprocessing searcher.
+``repro.service``
+    Long-lived online search service: dynamic micro-batching, LRU
+    result caching, stdlib HTTP JSON API (``repro serve``), client.
 ``repro.baselines``
     ANN-SoLo-like, HyperOMS-like, and brute-force comparators.
 ``repro.rram``

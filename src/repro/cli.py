@@ -1,6 +1,6 @@
 """Command-line interface: ``hdoms`` (also installed as ``repro``).
 
-Five subcommands cover the library's user-facing workflows:
+Six subcommands cover the library's user-facing workflows:
 
 * ``hdoms workload`` — generate a synthetic benchmark (MSP library +
   MGF queries + ground-truth TSV) to disk;
@@ -9,6 +9,8 @@ Five subcommands cover the library's user-facing workflows:
 * ``hdoms index build`` / ``hdoms index search`` — encode a library
   once into a persistent ``.npz`` index, then serve any number of query
   batches from it (optionally sharded across worker processes);
+* ``hdoms serve`` — run the long-lived online search service (micro-
+  batching + result cache + HTTP JSON API) over a persisted index;
 * ``hdoms experiment`` — regenerate one (or all) of the paper's tables
   and figures and print the rows/series;
 * ``hdoms info`` — version and configuration summary.
@@ -108,7 +110,14 @@ def _add_index_parser(subparsers) -> None:
         "--index", type=Path, required=True, dest="index_path", help=".npz index"
     )
     search.add_argument("--queries", type=Path, required=True, help="MGF file")
-    search.add_argument("--output", type=Path, help="TSV of accepted PSMs")
+    search.add_argument(
+        "--output",
+        type=Path,
+        help=(
+            "output file: accepted-PSM TSV, or the JSONL stream with "
+            "--output-format jsonl (stdout when omitted)"
+        ),
+    )
     search.add_argument(
         "--shards", type=int, default=1, help="library partitions to score"
     )
@@ -121,10 +130,89 @@ def _add_index_parser(subparsers) -> None:
     search.add_argument(
         "--mode", choices=("open", "standard", "cascade"), default="open"
     )
-    search.add_argument("--fdr", type=float, default=0.01)
+    search.add_argument(
+        "--fdr",
+        type=float,
+        default=None,
+        help="FDR threshold for tsv output (default 0.01; ignored by jsonl)",
+    )
     search.add_argument("--open-window", type=float, default=500.0)
     search.add_argument(
         "--backend", choices=("dense", "packed"), default="dense"
+    )
+    search.add_argument(
+        "--output-format",
+        choices=("tsv", "jsonl"),
+        default="tsv",
+        help=(
+            "tsv = FDR-filtered PSMs, buffered and sorted; jsonl = stream "
+            "every PSM (targets and decoys, pre-FDR, q_value null) as JSON "
+            "lines while query chunks are searched, without buffering the "
+            "full result set"
+        ),
+    )
+    search.add_argument(
+        "--chunk-size",
+        type=int,
+        default=512,
+        help="queries searched per batch in jsonl streaming mode",
+    )
+
+
+def _add_serve_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "serve",
+        help="online search service over a persisted index (HTTP JSON API)",
+    )
+    parser.add_argument(
+        "--index", type=Path, required=True, dest="index_path", help=".npz index"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8337)
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="flush a micro-batch at this many queued spectra",
+    )
+    parser.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=5.0,
+        help="flush when the oldest queued spectrum has waited this long",
+    )
+    parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        help="LRU result-cache capacity (0 disables caching)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("auto", "batched", "sharded"),
+        default="auto",
+        help="batch engine (auto = batched dense when possible)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=1, help="library partitions to score"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="process-pool size for the sharded engine (0 = in-process)",
+    )
+    parser.add_argument(
+        "--backend", choices=("dense", "packed"), default="dense"
+    )
+    parser.add_argument(
+        "--mode", choices=("open", "standard", "cascade"), default="open"
+    )
+    parser.add_argument("--open-window", type=float, default=500.0)
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log one line per HTTP request",
     )
 
 
@@ -168,6 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_parser(subparsers)
     _add_search_parser(subparsers)
     _add_index_parser(subparsers)
+    _add_serve_parser(subparsers)
     _add_experiment_parser(subparsers)
     subparsers.add_parser("info", help="print version and defaults")
     return parser
@@ -366,23 +455,93 @@ def _cmd_index_build(args) -> int:
     return 0
 
 
+def _iter_chunks(items, size: int):
+    """Yield lists of up to ``size`` items from any iterable, lazily."""
+    chunk = []
+    for item in items:
+        chunk.append(item)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+def _stream_jsonl_search(args, searcher, queries, info) -> int:
+    """Stream every PSM as one JSON line per match, chunk by chunk.
+
+    Queries are pulled lazily from the MGF iterator in chunks of
+    ``--chunk-size``, so neither the query set nor the PSM list is ever
+    fully resident.  The stream is pre-FDR (targets and decoys,
+    ``q_value`` null) — q-values are a global property of the full run
+    and would force exactly the buffering this mode exists to avoid.
+    """
+    import contextlib
+    import json
+    import time
+
+    start = time.perf_counter()
+    num_queries = 0
+    num_psms = 0
+    with contextlib.ExitStack() as stack:
+        if args.output is not None:
+            handle = stack.enter_context(
+                open(args.output, "w", encoding="utf-8")
+            )
+        else:
+            handle = sys.stdout
+        for chunk in _iter_chunks(queries, args.chunk_size):
+            result = searcher.search(chunk)
+            num_queries += result.num_queries
+            num_psms += len(result.psms)
+            for psm in result.psms:
+                handle.write(json.dumps(psm.to_dict()) + "\n")
+            handle.flush()
+    elapsed = time.perf_counter() - start
+    print(
+        f"streamed {num_psms} PSMs (pre-FDR, targets+decoys) for "
+        f"{num_queries} queries in {elapsed:.2f}s",
+        file=info,
+    )
+    if args.output is not None:
+        print(f"wrote JSONL -> {args.output}", file=info)
+    return 0
+
+
 def _cmd_index_search(args) -> int:
     import time
 
-    from .constants import DEFAULT_STANDARD_WINDOW_DA
+    from .constants import DEFAULT_FDR_THRESHOLD, DEFAULT_STANDARD_WINDOW_DA
     from .index import LibraryIndex, ShardedSearcher
     from .ms.mgf import read_mgf
     from .oms.candidates import WindowConfig
     from .oms.fdr import grouped_fdr
     from .oms.search import HDSearchConfig
 
+    if args.chunk_size < 1:
+        print(f"--chunk-size must be >= 1, got {args.chunk_size}", file=sys.stderr)
+        return 2
+    streaming = args.output_format == "jsonl"
+    # When JSON lines go to stdout, keep it clean: say everything else
+    # on stderr.
+    info = sys.stderr if streaming and args.output is None else sys.stdout
+    if streaming and args.fdr is not None:
+        print(
+            "warning: --fdr is ignored with --output-format jsonl "
+            "(the stream is pre-FDR; filter downstream)",
+            file=sys.stderr,
+        )
+    fdr = args.fdr if args.fdr is not None else DEFAULT_FDR_THRESHOLD
+
     start = time.perf_counter()
     index = LibraryIndex.load(args.index_path)
     load_seconds = time.perf_counter() - start
-    print(index.summary())
-    print(f"loaded index in {load_seconds * 1000:.1f} ms (encoding skipped)")
+    print(index.summary(), file=info)
+    print(
+        f"loaded index in {load_seconds * 1000:.1f} ms (encoding skipped)",
+        file=info,
+    )
 
-    queries = list(read_mgf(args.queries))
     windows = WindowConfig(
         standard_tolerance_da=DEFAULT_STANDARD_WINDOW_DA,
         open_window_da=args.open_window,
@@ -395,12 +554,16 @@ def _cmd_index_search(args) -> int:
         backend=args.backend,
         num_workers=args.workers,
     ) as searcher:
-        result = searcher.search(queries)
-    accepted = grouped_fdr(result.psms, args.fdr)
+        if streaming:
+            return _stream_jsonl_search(
+                args, searcher, read_mgf(args.queries), info
+            )
+        result = searcher.search(list(read_mgf(args.queries)))
+    accepted = grouped_fdr(result.psms, fdr)
     peptides = {psm.peptide_key for psm in accepted if psm.peptide_key}
     modified = sum(1 for psm in accepted if psm.is_modified_match)
     print(
-        f"accepted {len(accepted)} PSMs at {args.fdr:.0%} FDR "
+        f"accepted {len(accepted)} PSMs at {fdr:.0%} FDR "
         f"({len(peptides)} unique peptides, {modified} modified) "
         f"in {result.elapsed_seconds:.2f}s on backend {result.backend_name!r}"
     )
@@ -408,6 +571,43 @@ def _cmd_index_search(args) -> int:
         _write_psm_tsv(args.output, accepted)
         print(f"wrote PSMs -> {args.output}")
     return 0
+
+
+def cmd_serve(args) -> int:
+    from .constants import DEFAULT_STANDARD_WINDOW_DA
+    from .service import ServiceConfig, serve
+    from .service.server import ServiceStartupError
+
+    # Bad flag combinations (e.g. batched engine + cascade mode) and
+    # unreadable index files are usage errors, not crashes; failures
+    # after startup keep their tracebacks.
+    try:
+        config = ServiceConfig(
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            cache_capacity=args.cache_size,
+            engine=args.engine,
+            num_shards=args.shards,
+            num_workers=args.workers,
+            backend=args.backend,
+            mode=args.mode,
+            open_window_da=args.open_window,
+            standard_tolerance_da=DEFAULT_STANDARD_WINDOW_DA,
+        )
+    except ValueError as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
+    try:
+        return serve(
+            args.index_path,
+            host=args.host,
+            port=args.port,
+            config=config,
+            quiet=not args.verbose,
+        )
+    except ServiceStartupError as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
 
 
 def cmd_experiment(args) -> int:
@@ -450,7 +650,10 @@ def cmd_info() -> int:
     print(f"  default m/z bin width : {DEFAULT_BIN_WIDTH} Da")
     print(f"  default open window   : +-{DEFAULT_OPEN_WINDOW_DA} Da")
     print(f"  default FDR threshold : {DEFAULT_FDR_THRESHOLD:.0%}")
-    print("  subcommands           : workload, search, index, experiment, info")
+    print(
+        "  subcommands           : workload, search, index, serve, "
+        "experiment, info"
+    )
     return 0
 
 
@@ -462,6 +665,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_search(args)
     if args.command == "index":
         return cmd_index(args)
+    if args.command == "serve":
+        return cmd_serve(args)
     if args.command == "experiment":
         return cmd_experiment(args)
     if args.command == "info":

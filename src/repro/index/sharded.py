@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -251,12 +252,25 @@ class ShardedSearcher:
             )
         return self._pool
 
-    def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+    def close(self, timeout: float = 10.0) -> None:
+        """Shut the worker pool down gracefully (idempotent).
+
+        The pool is ``close()``-d and ``join()``-ed so in-flight shard
+        tasks finish instead of being killed mid-request (a long-lived
+        service must not lose answers for queued queries on shutdown).
+        If the join does not complete within ``timeout`` seconds — a
+        wedged worker — the pool falls back to ``terminate()``.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        pool.close()
+        waiter = threading.Thread(target=pool.join, daemon=True)
+        waiter.start()
+        waiter.join(timeout)
+        if waiter.is_alive():
+            pool.terminate()
+            waiter.join()
 
     def __enter__(self) -> "ShardedSearcher":
         return self

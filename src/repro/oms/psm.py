@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Mapping, Optional, Set
 
 
 @dataclass
@@ -31,6 +31,43 @@ class PSM:
     def is_modified_match(self) -> bool:
         """True when the mass delta indicates a modification (>0.5 Da)."""
         return abs(self.precursor_mass_difference) > 0.5
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict of every field (the service wire format)."""
+        return {
+            "query_id": self.query_id,
+            "reference_id": self.reference_id,
+            "peptide_key": self.peptide_key,
+            "score": float(self.score),
+            "is_decoy": bool(self.is_decoy),
+            "precursor_mass_difference": float(self.precursor_mass_difference),
+            "mode": self.mode,
+            "q_value": float(self.q_value) if self.q_value is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "PSM":
+        """Rebuild a PSM from :meth:`to_dict` output (round-trip exact)."""
+        try:
+            q_value = payload.get("q_value")
+            return cls(
+                query_id=str(payload["query_id"]),
+                reference_id=str(payload["reference_id"]),
+                peptide_key=(
+                    str(payload["peptide_key"])
+                    if payload.get("peptide_key") is not None
+                    else None
+                ),
+                score=float(payload["score"]),
+                is_decoy=bool(payload["is_decoy"]),
+                precursor_mass_difference=float(
+                    payload["precursor_mass_difference"]
+                ),
+                mode=str(payload.get("mode", "open")),
+                q_value=float(q_value) if q_value is not None else None,
+            )
+        except KeyError as missing:
+            raise ValueError(f"PSM payload is missing {missing}") from None
 
 
 @dataclass
@@ -76,6 +113,27 @@ class SearchResult:
     def score_by_query(self) -> Dict[str, float]:
         """Map query id -> best score (for cross-backend comparisons)."""
         return {psm.query_id: psm.score for psm in self.psms}
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict: PSM payloads plus run bookkeeping."""
+        return {
+            "psms": [psm.to_dict() for psm in self.psms],
+            "num_queries": self.num_queries,
+            "num_unmatched": self.num_unmatched,
+            "elapsed_seconds": float(self.elapsed_seconds),
+            "backend_name": self.backend_name,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "SearchResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(
+            psms=[PSM.from_dict(entry) for entry in payload.get("psms", [])],
+            num_queries=int(payload.get("num_queries", 0)),
+            num_unmatched=int(payload.get("num_unmatched", 0)),
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            backend_name=str(payload.get("backend_name", "")),
+        )
 
 
 def evaluate_against_truth(

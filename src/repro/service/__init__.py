@@ -1,0 +1,66 @@
+"""Online open-modification search service (the ``repro serve`` stack).
+
+The build-once/search-many workflow of :mod:`repro.index` stops one
+step short of the ROADMAP's production target: every CLI invocation
+still pays process start-up, index load, and worker warm-up.  This
+subpackage keeps all of that hot in a long-lived process and serves
+concurrent clients over a stdlib HTTP JSON API:
+
+* :class:`~repro.service.scheduler.MicroBatchScheduler` — dynamic
+  micro-batching; single-spectrum requests coalesce into vectorized
+  batch searches (flush on ``max_batch`` or ``max_wait_ms``);
+* :class:`~repro.service.cache.ResultCache` — LRU result cache keyed
+  by spectrum content digest + configuration fingerprint;
+* :class:`~repro.service.server.SearchService` /
+  :class:`~repro.service.server.SearchServer` — the engine room and
+  its ``ThreadingHTTPServer`` front (``/search``, ``/search_batch``,
+  ``/healthz``, ``/stats``, ``/reload``);
+* :class:`~repro.service.client.SearchClient` — a thin ``urllib``
+  client returning first-class :class:`~repro.oms.psm.PSM` objects.
+
+Responses are bit-identical to a direct
+:class:`~repro.oms.search.HDOmsSearcher` run on the same index and
+configuration, independent of request order, concurrency, or batch
+composition.
+"""
+
+from .cache import MISSING, ResultCache
+from .client import SearchClient, ServiceError
+from .protocol import (
+    ProtocolError,
+    config_fingerprint,
+    spectrum_digest,
+    spectrum_from_payload,
+    spectrum_to_payload,
+)
+from .scheduler import MicroBatchScheduler, SchedulerStats
+from .server import (
+    SearchRequestHandler,
+    SearchServer,
+    SearchService,
+    ServiceConfig,
+    ServiceStartupError,
+    serve,
+    start_server,
+)
+
+__all__ = [
+    "MISSING",
+    "ResultCache",
+    "SearchClient",
+    "ServiceError",
+    "ProtocolError",
+    "config_fingerprint",
+    "spectrum_digest",
+    "spectrum_from_payload",
+    "spectrum_to_payload",
+    "MicroBatchScheduler",
+    "SchedulerStats",
+    "SearchRequestHandler",
+    "SearchServer",
+    "SearchService",
+    "ServiceConfig",
+    "ServiceStartupError",
+    "serve",
+    "start_server",
+]

@@ -1,0 +1,85 @@
+"""Thread-safe LRU cache for per-spectrum search results.
+
+Keys are ``(config fingerprint, spectrum digest)`` strings produced by
+:mod:`repro.service.protocol`; values are the *search outcome* for that
+spectrum — an anonymous PSM or ``None`` for an unmatched query.  A
+cached miss is as valuable as a cached hit (the service would otherwise
+re-run the full windowed scoring just to find nothing again), so the
+cache must distinguish "stored None" from "absent": :meth:`get` returns
+the :data:`MISSING` sentinel for absent keys.
+
+Statistics (hits / misses / evictions / hit rate) are tracked under the
+same lock and surface through the service's ``/stats`` endpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional
+
+#: Sentinel distinguishing "key absent" from a cached ``None`` result.
+MISSING = object()
+
+
+class ResultCache:
+    """Bounded LRU mapping of result keys to cached search outcomes.
+
+    ``capacity=0`` disables storage entirely (every lookup misses, puts
+    are dropped) while keeping the stats counters alive, so a service
+    can run cache-less without branching at every call site.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: Hashable) -> object:
+        """The cached value, or :data:`MISSING`; refreshes LRU order."""
+        with self._lock:
+            if key not in self._entries:
+                self._misses += 1
+                return MISSING
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return self._entries[key]
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Store ``value`` (may be ``None``), evicting the LRU entry."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (stats counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, Optional[float]]:
+        """Counters for the ``/stats`` endpoint."""
+        with self._lock:
+            lookups = self._hits + self._misses
+            return {
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "hit_rate": (self._hits / lookups) if lookups else None,
+            }

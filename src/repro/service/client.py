@@ -1,0 +1,116 @@
+"""Thin stdlib HTTP client for the search service.
+
+:class:`SearchClient` speaks the JSON protocol of
+:mod:`repro.service.server` using nothing but ``urllib``, and converts
+wire payloads back into first-class :class:`~repro.oms.psm.PSM`
+objects, so callers interact with the remote service exactly like with
+a local :class:`~repro.oms.search.HDOmsSearcher`::
+
+    client = SearchClient("http://127.0.0.1:8337")
+    psm = client.search(spectrum)           # Optional[PSM]
+    psms = client.search_batch(spectra)     # aligned List[Optional[PSM]]
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from ..ms.spectrum import Spectrum
+from ..oms.psm import PSM
+from .protocol import spectrum_to_payload
+
+
+class ServiceError(RuntimeError):
+    """An HTTP request to the search service failed.
+
+    ``status`` is the HTTP status code, or ``None`` when the service
+    could not be reached at all.
+    """
+
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class SearchClient:
+    """Blocking JSON client for one search service endpoint."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+
+    def _request(self, method: str, path: str, payload: Optional[dict] = None):
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            detail = ""
+            try:
+                detail = json.loads(error.read().decode("utf-8")).get("error", "")
+            except Exception:  # noqa: BLE001 - best-effort error body
+                pass
+            raise ServiceError(
+                f"{method} {path} failed with HTTP {error.code}"
+                + (f": {detail}" if detail else ""),
+                status=error.code,
+            ) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"cannot reach {self.base_url}: {error.reason}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+
+    def search(self, spectrum: Spectrum) -> Optional[PSM]:
+        """Search one spectrum; None when the service found no match."""
+        payload = self.search_detailed(spectrum).get("psm")
+        return PSM.from_dict(payload) if payload is not None else None
+
+    def search_detailed(self, spectrum: Spectrum) -> dict:
+        """The raw ``/search`` reply (psm payload, cached flag, timing)."""
+        return self._request(
+            "POST", "/search", {"spectrum": spectrum_to_payload(spectrum)}
+        )
+
+    def search_batch(self, spectra: Sequence[Spectrum]) -> List[Optional[PSM]]:
+        """Search many spectra in one round trip; result aligns to input."""
+        reply = self._request(
+            "POST",
+            "/search_batch",
+            {"spectra": [spectrum_to_payload(s) for s in spectra]},
+        )
+        return [
+            PSM.from_dict(payload) if payload is not None else None
+            for payload in reply["psms"]
+        ]
+
+    def healthz(self) -> dict:
+        """Liveness probe payload."""
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        """Cache / scheduler / latency counters."""
+        return self._request("GET", "/stats")
+
+    def reload(self, index_path: Union[str, Path, None] = None) -> dict:
+        """Hot-swap the service's index (optionally from a new path)."""
+        payload = {"index": str(index_path)} if index_path is not None else {}
+        return self._request("POST", "/reload", payload)

@@ -1,0 +1,121 @@
+"""Wire protocol shared by the search server and its clients.
+
+Three concerns live here because both sides of the HTTP boundary need
+them:
+
+* a JSON codec for :class:`~repro.ms.spectrum.Spectrum` payloads
+  (``spectrum_to_payload`` / ``spectrum_from_payload``) with loud,
+  field-level validation errors;
+* a canonical **content digest** for spectra
+  (:func:`spectrum_digest`) that ignores the identifier, so two
+  requests carrying the same peaks/precursor hash to the same cache
+  key no matter what the client called them;
+* a **configuration fingerprint** (:func:`config_fingerprint`) mixing
+  the index provenance with the search-stage knobs, so cached results
+  can never leak across indexes, windows, modes, or backends.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import struct
+from typing import Optional
+
+import numpy as np
+
+from ..ms.peptide import Peptide
+from ..ms.spectrum import Spectrum
+
+
+class ProtocolError(ValueError):
+    """A request payload does not describe a valid spectrum."""
+
+
+def spectrum_to_payload(spectrum: Spectrum) -> dict:
+    """Encode a spectrum as a JSON-safe dict (the ``/search`` body)."""
+    payload = {
+        "id": spectrum.identifier,
+        "precursor_mz": float(spectrum.precursor_mz),
+        "precursor_charge": int(spectrum.precursor_charge),
+        "mz": [float(value) for value in spectrum.mz],
+        "intensity": [float(value) for value in spectrum.intensity],
+    }
+    if spectrum.peptide is not None:
+        payload["peptide"] = spectrum.peptide.sequence
+    if spectrum.retention_time is not None:
+        payload["retention_time"] = float(spectrum.retention_time)
+    return payload
+
+
+def spectrum_from_payload(payload: object) -> Spectrum:
+    """Decode one spectrum payload, raising :class:`ProtocolError`."""
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"spectrum payload must be an object, got {type(payload).__name__}"
+        )
+    for field in ("precursor_mz", "precursor_charge", "mz", "intensity"):
+        if field not in payload:
+            raise ProtocolError(f"spectrum payload is missing {field!r}")
+    peptide: Optional[Peptide] = None
+    if payload.get("peptide"):
+        try:
+            peptide = Peptide(str(payload["peptide"]))
+        except ValueError as error:
+            raise ProtocolError(f"bad peptide: {error}") from None
+    try:
+        return Spectrum(
+            identifier=str(payload.get("id", "query")),
+            precursor_mz=float(payload["precursor_mz"]),
+            precursor_charge=int(payload["precursor_charge"]),
+            mz=np.asarray(payload["mz"], dtype=np.float64),
+            intensity=np.asarray(payload["intensity"], dtype=np.float32),
+            peptide=peptide,
+            retention_time=(
+                float(payload["retention_time"])
+                if payload.get("retention_time") is not None
+                else None
+            ),
+        )
+    except (TypeError, ValueError) as error:
+        raise ProtocolError(f"bad spectrum payload: {error}") from None
+
+
+def spectrum_digest(spectrum: Spectrum) -> str:
+    """Canonical content hash of one spectrum.
+
+    Covers precursor m/z, charge, and the peak arrays — *not* the
+    identifier — so renamed resubmissions of the same scan collide on
+    purpose.  Peaks are already m/z-sorted by ``Spectrum.__post_init__``,
+    making the byte stream canonical.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(
+        struct.pack("<dq", float(spectrum.precursor_mz), int(spectrum.precursor_charge))
+    )
+    hasher.update(np.ascontiguousarray(spectrum.mz, dtype=np.float64).tobytes())
+    hasher.update(
+        np.ascontiguousarray(spectrum.intensity, dtype=np.float32).tobytes()
+    )
+    return hasher.hexdigest()
+
+
+def config_fingerprint(index_provenance: dict, windows, search_config, backend: str) -> str:
+    """Hash of everything that can change a search result.
+
+    ``index_provenance`` is :meth:`LibraryIndex.provenance`; ``windows``
+    and ``search_config`` are the dataclass configs.  Two services with
+    equal fingerprints return bit-identical PSMs for the same spectrum,
+    which is exactly the property the result cache needs.
+    """
+    blob = json.dumps(
+        {
+            "index": index_provenance,
+            "windows": dataclasses.asdict(windows),
+            "search": dataclasses.asdict(search_config),
+            "backend": backend,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -1,0 +1,222 @@
+"""Dynamic micro-batching: coalesce single-spectrum requests.
+
+The service's hot path is a *vectorized batch search* (one dense matmul
+per charge bucket), but online clients arrive one spectrum at a time.
+The :class:`MicroBatchScheduler` bridges the two: ``submit`` enqueues a
+spectrum and returns a :class:`~concurrent.futures.Future`; a single
+background flusher thread collects the queue into batches and hands
+them to the runner callback, flushing as soon as either
+
+* ``max_batch`` requests are waiting (**full** flush — zero added
+  latency for saturated traffic), or
+* the *oldest* queued request has waited ``max_wait_ms`` (**timeout**
+  flush — bounded latency for trickle traffic).
+
+The runner executes outside the queue lock, so clients keep enqueuing
+while a batch is being scored; that is what lets the next batch grow
+under load (the HyperOMS observation: OMS throughput is batching).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+
+@dataclass
+class SchedulerStats:
+    """Flush accounting, exported via the service ``/stats`` endpoint."""
+
+    requests: int = 0
+    batches: int = 0
+    full_flushes: int = 0
+    timeout_flushes: int = 0
+    drain_flushes: int = 0
+    max_batch_size: int = 0
+    total_batched: int = 0
+    total_queue_wait_seconds: float = 0.0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record_submit(self, count: int = 1) -> None:
+        with self._lock:
+            self.requests += count
+
+    def record_flush(self, size: int, reason: str, wait_seconds: float) -> None:
+        with self._lock:
+            self.batches += 1
+            self.total_batched += size
+            self.max_batch_size = max(self.max_batch_size, size)
+            self.total_queue_wait_seconds += wait_seconds
+            if reason == "full":
+                self.full_flushes += 1
+            elif reason == "timeout":
+                self.timeout_flushes += 1
+            else:
+                self.drain_flushes += 1
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "batches": self.batches,
+                "full_flushes": self.full_flushes,
+                "timeout_flushes": self.timeout_flushes,
+                "drain_flushes": self.drain_flushes,
+                "max_batch_size": self.max_batch_size,
+                "mean_batch_size": (
+                    self.total_batched / self.batches if self.batches else 0.0
+                ),
+                "mean_queue_wait_ms": (
+                    1000.0 * self.total_queue_wait_seconds / self.total_batched
+                    if self.total_batched
+                    else 0.0
+                ),
+            }
+
+
+class MicroBatchScheduler:
+    """Queue single requests, flush them to a batch runner.
+
+    Parameters
+    ----------
+    runner:
+        ``runner(items) -> results`` where ``items`` is the list of
+        submitted objects in arrival order and ``results`` is a
+        same-length sequence; ``results[i]`` resolves the future of
+        ``items[i]``.  A runner exception fails every future in the
+        batch (clients see the error, the scheduler survives).
+    max_batch:
+        Flush as soon as this many requests are queued (>= 1).
+    max_wait_ms:
+        Flush when the oldest queued request is this old (>= 0; zero
+        means every request flushes immediately, i.e. no batching).
+    """
+
+    def __init__(
+        self,
+        runner: Callable[[List[object]], Sequence[object]],
+        max_batch: int = 32,
+        max_wait_ms: float = 5.0,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        self._runner = runner
+        self.max_batch = max_batch
+        self.max_wait = max_wait_ms / 1000.0
+        self.stats = SchedulerStats()
+        self._queue: List[Tuple[object, Future, float]] = []
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._flush_loop, name="microbatch-flusher", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # client side
+    # ------------------------------------------------------------------
+
+    def submit(self, item: object) -> "Future":
+        """Enqueue one request; the future resolves after its batch runs."""
+        return self.submit_many([item])[0]
+
+    def submit_many(self, items: Sequence[object]) -> List["Future"]:
+        """Enqueue several requests under one lock acquisition.
+
+        Semantically identical to calling :meth:`submit` in a loop but
+        pays the queue lock and flusher wake-up once, which matters for
+        clients streaming whole spectrum lists (``/search_batch``).
+        """
+        futures: List[Future] = [Future() for _ in items]
+        now = time.monotonic()
+        with self._wakeup:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            for item, future in zip(items, futures):
+                self._queue.append((item, future, now))
+            self.stats.record_submit(len(futures))
+            self._wakeup.notify()
+        return futures
+
+    def close(self, drain: bool = True) -> None:
+        """Stop the flusher (idempotent).
+
+        ``drain=True`` (the default) lets queued requests run as final
+        batches before the thread exits; ``drain=False`` fails them
+        with :class:`RuntimeError` instead.
+        """
+        with self._wakeup:
+            if self._closed:
+                return
+            self._closed = True
+            if not drain:
+                abandoned, self._queue = self._queue, []
+            self._wakeup.notify_all()
+        if not drain:
+            for _item, future, _t in abandoned:
+                future.set_exception(RuntimeError("scheduler closed"))
+        self._thread.join()
+
+    # ------------------------------------------------------------------
+    # flusher side
+    # ------------------------------------------------------------------
+
+    def _flush_loop(self) -> None:
+        while True:
+            with self._wakeup:
+                while not self._queue and not self._closed:
+                    self._wakeup.wait()
+                if not self._queue:
+                    return  # closed and drained
+                if not self._closed:
+                    # Wait for the batch to fill, but never keep the
+                    # oldest request waiting past its deadline.
+                    deadline = self._queue[0][2] + self.max_wait
+                    while (
+                        len(self._queue) < self.max_batch
+                        and not self._closed
+                        and time.monotonic() < deadline
+                    ):
+                        self._wakeup.wait(deadline - time.monotonic())
+                # Re-check closed: a close() arriving mid-wait is a
+                # drain flush, not a timeout.
+                if len(self._queue) >= self.max_batch:
+                    reason = "full"
+                elif self._closed:
+                    reason = "drain"
+                else:
+                    reason = "timeout"
+                batch = self._queue[: self.max_batch]
+                del self._queue[: len(batch)]
+            if batch:
+                # close(drain=False) can empty the queue while the
+                # flusher is mid-wait; don't run (or count) a phantom
+                # zero-size batch.
+                self._run_batch(batch, reason)
+
+    def _run_batch(
+        self, batch: List[Tuple[object, Future, float]], reason: str
+    ) -> None:
+        now = time.monotonic()
+        self.stats.record_flush(
+            len(batch), reason, sum(now - entry[2] for entry in batch)
+        )
+        try:
+            results = self._runner([item for item, _future, _t in batch])
+            if len(results) != len(batch):
+                raise RuntimeError(
+                    f"runner returned {len(results)} results for a batch "
+                    f"of {len(batch)}"
+                )
+        except BaseException as error:  # noqa: BLE001 - forwarded to futures
+            for _item, future, _t in batch:
+                future.set_exception(error)
+            return
+        for (_item, future, _t), result in zip(batch, results):
+            future.set_result(result)

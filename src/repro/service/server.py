@@ -1,0 +1,704 @@
+"""Long-lived online search service over a persisted library index.
+
+:class:`SearchService` is the engine room: it loads a
+:class:`~repro.index.library.LibraryIndex` once, keeps a warm vectorized
+searcher behind a :class:`~repro.service.scheduler.MicroBatchScheduler`
+(single-spectrum requests coalesce into batch searches), and fronts
+everything with a :class:`~repro.service.cache.ResultCache` keyed by
+spectrum content digest + configuration fingerprint.  Results are
+bit-identical to a direct :class:`~repro.oms.search.HDOmsSearcher` run
+on the same index and configuration, whatever order or batch the
+requests arrive in.
+
+:class:`SearchServer` / :func:`serve` wrap the service in a stdlib
+``ThreadingHTTPServer`` JSON API:
+
+========================  ====  ==========================================
+``/search``               POST  one spectrum -> one PSM (or null)
+``/search_batch``         POST  many spectra -> aligned PSM list
+``/healthz``              GET   liveness + index summary
+``/stats``                GET   cache / scheduler / latency counters
+``/reload``               POST  hot-swap the index without dropping queue
+========================  ====  ==========================================
+
+Shutdown is graceful: the HTTP loop stops accepting, the scheduler
+drains queued requests as final batches, and the sharded pool (when
+used) is closed with ``close()``/``join()`` rather than terminated.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import json
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..constants import DEFAULT_OPEN_WINDOW_DA, DEFAULT_STANDARD_WINDOW_DA
+from ..index.library import LibraryIndex
+from ..index.sharded import ShardedSearcher
+from ..ms.spectrum import Spectrum
+from ..oms.batch import BatchedHDOmsSearcher
+from ..oms.candidates import WindowConfig
+from ..oms.psm import PSM
+from ..oms.search import HDSearchConfig
+from .cache import MISSING, ResultCache
+from .protocol import (
+    ProtocolError,
+    config_fingerprint,
+    spectrum_digest,
+    spectrum_from_payload,
+)
+from .scheduler import MicroBatchScheduler
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of one online search service instance.
+
+    ``engine="auto"`` picks the dense batched searcher (one matmul per
+    charge bucket — the fastest schedule for coalesced micro-batches)
+    whenever the configuration allows it, and falls back to the sharded
+    searcher for cascade mode, packed backends, or ``num_shards > 1``.
+    Every engine choice returns bit-identical PSMs.
+    """
+
+    max_batch: int = 32
+    max_wait_ms: float = 5.0
+    cache_capacity: int = 1024
+    engine: str = "auto"  # "auto" | "batched" | "sharded"
+    num_shards: int = 1
+    num_workers: Optional[int] = 0
+    backend: str = "dense"
+    mode: str = "open"
+    open_window_da: float = DEFAULT_OPEN_WINDOW_DA
+    standard_tolerance_da: float = DEFAULT_STANDARD_WINDOW_DA
+    charge_aware: bool = True
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("auto", "batched", "sharded"):
+            raise ValueError(f"unknown engine {self.engine!r}")
+        if self.mode not in ("open", "standard", "cascade"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        if self.engine == "batched" and self.mode == "cascade":
+            raise ValueError("the batched engine does not support cascade mode")
+        if self.engine == "batched" and self.backend != "dense":
+            raise ValueError(
+                f"the batched engine is dense-only; use engine='sharded' "
+                f"for backend {self.backend!r}"
+            )
+        if self.engine == "batched" and self.num_shards != 1:
+            raise ValueError(
+                "the batched engine does not shard; use engine='sharded' "
+                f"for num_shards={self.num_shards}"
+            )
+        if self.engine == "batched" and self.num_workers != 0:
+            raise ValueError(
+                "the batched engine runs in-process; use engine='sharded' "
+                f"for num_workers={self.num_workers}"
+            )
+        # Pool creation is lazy, so a bad worker count would otherwise
+        # surface as HTTP 500s on the first search instead of a clean
+        # startup failure.
+        if self.num_workers is not None and self.num_workers < 0:
+            raise ValueError(
+                f"num_workers must be >= 0 or None, got {self.num_workers}"
+            )
+
+    def windows(self) -> WindowConfig:
+        return WindowConfig(
+            standard_tolerance_da=self.standard_tolerance_da,
+            open_window_da=self.open_window_da,
+            charge_aware=self.charge_aware,
+        )
+
+    def search_config(self) -> HDSearchConfig:
+        return HDSearchConfig(mode=self.mode)
+
+
+class ServiceStartupError(RuntimeError):
+    """The service could not start (bad config / unreadable index).
+
+    Raised by :func:`serve` for failures *before* the server loop so the
+    CLI can print a clean usage error, while genuine runtime crashes
+    keep their tracebacks.
+    """
+
+
+class SearchService:
+    """Warm index + micro-batching + result cache behind one object.
+
+    Parameters
+    ----------
+    index:
+        A loaded :class:`LibraryIndex` or a path to a persisted one.
+        Passing a path enables argument-less :meth:`reload`.
+    config:
+        :class:`ServiceConfig`; defaults serve open-mode dense search
+        with a 32-spectrum / 5 ms micro-batch window.
+    """
+
+    def __init__(
+        self,
+        index: Union[LibraryIndex, str, Path],
+        config: Optional[ServiceConfig] = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        if isinstance(index, (str, Path)):
+            self.index_path: Optional[Path] = Path(index)
+            self.index = LibraryIndex.load(self.index_path)
+        else:
+            self.index_path = None
+            self.index = index
+        self._engine_lock = threading.Lock()
+        # Serialises cache writes against reload()'s cache clear so a
+        # stale result can never be stored after the clear ran.
+        self._swap_lock = threading.Lock()
+        self._generation = 0
+        self._engine, self._engine_label, self._fingerprint = self._build_engine(
+            self.index
+        )
+        self.cache = ResultCache(self.config.cache_capacity)
+        self.scheduler = MicroBatchScheduler(
+            self._run_batch,
+            max_batch=self.config.max_batch,
+            max_wait_ms=self.config.max_wait_ms,
+        )
+        self._stats_lock = threading.Lock()
+        self._search_requests = 0
+        self._batch_requests = 0
+        self._reloads = 0
+        self._latency_total = 0.0
+        self._latency_count = 0
+        self._started = time.time()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # engine construction / batch execution
+    # ------------------------------------------------------------------
+
+    def _engine_kind(self) -> str:
+        if self.config.engine != "auto":
+            return self.config.engine
+        if (
+            self.config.mode in ("open", "standard")
+            and self.config.num_shards == 1
+            and self.config.backend == "dense"
+            # Asking for workers (N > 0, or None = one per CPU) is an
+            # explicit request for the process pool — honour it rather
+            # than silently serving in-process.
+            and self.config.num_workers == 0
+        ):
+            return "batched"
+        return "sharded"
+
+    def _build_engine(self, index: LibraryIndex):
+        """Build the warm searcher + the cache fingerprint for it."""
+        windows = self.config.windows()
+        search_config = self.config.search_config()
+        if self._engine_kind() == "batched":
+            engine = BatchedHDOmsSearcher.from_index(
+                index, windows=windows, mode=self.config.mode
+            )
+            label = "batched-dense"
+        else:
+            engine = ShardedSearcher(
+                index,
+                num_shards=self.config.num_shards,
+                windows=windows,
+                config=search_config,
+                backend=self.config.backend,
+                num_workers=self.config.num_workers,
+            )
+            label = engine.backend_name
+        fingerprint = config_fingerprint(
+            index.provenance(), windows, search_config, label
+        )
+        return engine, label, fingerprint
+
+    def _run_batch(
+        self, batch: List[Spectrum]
+    ) -> List[Tuple[Optional[PSM], str, int]]:
+        """Score one coalesced batch; called by the scheduler thread.
+
+        Requests are renamed to unique positional identifiers before the
+        batch search (client identifiers may collide across concurrent
+        requests) and renamed back on the way out.  Each result carries
+        the fingerprint and generation of the engine that produced it,
+        so cache entries stay consistent across concurrent
+        :meth:`reload` swaps.
+        """
+        renamed = []
+        for position, spectrum in enumerate(batch):
+            # Shallow copy, not dataclasses.replace: the peak arrays are
+            # shared read-only and re-running __post_init__ validation
+            # per request would be pure overhead on the hot path.
+            clone = copy.copy(spectrum)
+            clone.identifier = str(position)
+            renamed.append(clone)
+        with self._engine_lock:
+            fingerprint = self._fingerprint
+            generation = self._generation
+            result = self._engine.search(renamed)
+        by_position = {psm.query_id: psm for psm in result.psms}
+        out: List[Tuple[Optional[PSM], str, int]] = []
+        for position, spectrum in enumerate(batch):
+            psm = by_position.get(str(position))
+            if psm is not None:
+                psm = dataclasses.replace(psm, query_id=spectrum.identifier)
+            out.append((psm, fingerprint, generation))
+        return out
+
+    # ------------------------------------------------------------------
+    # request API
+    # ------------------------------------------------------------------
+
+    def _lookup(self, spectrum: Spectrum) -> Tuple[str, object]:
+        digest = spectrum_digest(spectrum)
+        return digest, self.cache.get((self._fingerprint, digest))
+
+    def _finish(
+        self, digest: str, outcome: Tuple[Optional[PSM], str, int]
+    ) -> Optional[PSM]:
+        psm, fingerprint, generation = outcome
+        # Only cache results computed by the *current* engine: a result
+        # from a pre-reload engine arriving after reload() cleared the
+        # cache would otherwise be servable forever, even though a
+        # rebuilt index at the same path can carry the same fingerprint
+        # (provenance describes configuration, not library content).
+        # The check and the put must be atomic w.r.t. reload()'s clear,
+        # hence the swap lock: without it the generation could pass the
+        # check and the put still land after the clear.
+        with self._swap_lock:
+            if generation == self._generation:
+                self.cache.put((fingerprint, digest), psm)
+        return psm
+
+    def _record_latency(self, started: float) -> None:
+        elapsed = time.perf_counter() - started
+        with self._stats_lock:
+            self._latency_total += elapsed
+            self._latency_count += 1
+
+    def search_one_detailed(
+        self, spectrum: Spectrum
+    ) -> Tuple[Optional[PSM], bool]:
+        """``(psm_or_none, served_from_cache)`` for one spectrum."""
+        started = time.perf_counter()
+        with self._stats_lock:
+            self._search_requests += 1
+        digest, cached = self._lookup(spectrum)
+        if cached is not MISSING:
+            psm = cached
+            if psm is not None:
+                psm = dataclasses.replace(psm, query_id=spectrum.identifier)
+            self._record_latency(started)
+            return psm, True
+        psm = self._finish(digest, self.scheduler.submit(spectrum).result())
+        self._record_latency(started)
+        return psm, False
+
+    def search_one(self, spectrum: Spectrum) -> Optional[PSM]:
+        """Search one spectrum (micro-batched + cached under the hood)."""
+        return self.search_one_detailed(spectrum)[0]
+
+    def search_many(self, spectra: Sequence[Spectrum]) -> List[Optional[PSM]]:
+        """Search several spectra; the whole list enters the scheduler
+        at once, so it typically runs as one vectorized batch."""
+        started = time.perf_counter()
+        with self._stats_lock:
+            self._batch_requests += 1
+        results: List[Optional[PSM]] = [None] * len(spectra)
+        # Coalesce duplicate spectra within the request: one search per
+        # unique digest, fanned back out to every position.
+        misses: Dict[str, List[int]] = {}
+        for position, spectrum in enumerate(spectra):
+            digest, cached = self._lookup(spectrum)
+            if cached is not MISSING:
+                if cached is not None:
+                    results[position] = dataclasses.replace(
+                        cached, query_id=spectrum.identifier
+                    )
+                continue
+            misses.setdefault(digest, []).append(position)
+        futures = self.scheduler.submit_many(
+            [spectra[positions[0]] for positions in misses.values()]
+        )
+        for (digest, positions), future in zip(misses.items(), futures):
+            psm = self._finish(digest, future.result())
+            for position in positions:
+                results[position] = (
+                    dataclasses.replace(
+                        psm, query_id=spectra[position].identifier
+                    )
+                    if psm is not None
+                    else None
+                )
+        self._record_latency(started)
+        return results
+
+    def reload(self, index_path: Union[str, Path, None] = None) -> str:
+        """Hot-swap the index; queued requests are never dropped.
+
+        The replacement index is built off to the side while the old
+        engine keeps serving; the swap itself waits only for the batch
+        currently in flight.  The cache is cleared, and the generation
+        bump keeps results that were computed on the old engine — but
+        arrive at their requester after the clear — from being cached
+        (a rebuilt index at the same path can share a fingerprint, so
+        clearing alone would not be enough).  The old engine is closed
+        gracefully.
+        """
+        path = Path(index_path) if index_path is not None else self.index_path
+        if path is None:
+            raise ValueError(
+                "service was built from an in-memory index; "
+                "pass index_path to reload"
+            )
+        new_index = LibraryIndex.load(path)
+        new_engine, new_label, new_fingerprint = self._build_engine(new_index)
+        with self._engine_lock:
+            # The cache clear must be atomic with the swap: a rebuilt
+            # index can share the old fingerprint (provenance-equal),
+            # and clearing in a later critical section would leave a
+            # window where new requests hit pre-reload entries.
+            with self._swap_lock:
+                old_engine = self._engine
+                self._engine = new_engine
+                self._engine_label = new_label
+                self._fingerprint = new_fingerprint
+                self._generation += 1
+                self.index = new_index
+                self.index_path = path
+                self.cache.clear()
+        with self._stats_lock:
+            self._reloads += 1
+        if hasattr(old_engine, "close"):
+            old_engine.close()
+        return new_index.summary()
+
+    # ------------------------------------------------------------------
+    # introspection / lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def engine_name(self) -> str:
+        return self._engine_label
+
+    def healthz(self) -> Dict[str, object]:
+        return {
+            "status": "ok",
+            "index": self.index.summary(),
+            "num_references": self.index.num_references,
+            "engine": self.engine_name,
+            "uptime_seconds": round(time.time() - self._started, 3),
+        }
+
+    def stats(self) -> Dict[str, object]:
+        with self._stats_lock:
+            requests = {
+                "search": self._search_requests,
+                "search_batch": self._batch_requests,
+                "reloads": self._reloads,
+            }
+            latency = {
+                "count": self._latency_count,
+                "total_ms": round(1000.0 * self._latency_total, 3),
+                "mean_ms": round(
+                    1000.0 * self._latency_total / self._latency_count, 3
+                )
+                if self._latency_count
+                else None,
+            }
+        return {
+            "requests": requests,
+            "latency": latency,
+            "cache": self.cache.stats(),
+            "scheduler": self.scheduler.stats.snapshot(),
+            "engine": {
+                "name": self.engine_name,
+                "mode": self.config.mode,
+                "num_references": self.index.num_references,
+                "max_batch": self.config.max_batch,
+                "max_wait_ms": self.config.max_wait_ms,
+            },
+            "uptime_seconds": round(time.time() - self._started, 3),
+        }
+
+    def close(self) -> None:
+        """Drain the scheduler, then close the engine (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.scheduler.close(drain=True)
+        if hasattr(self._engine, "close"):
+            self._engine.close()
+
+    def __enter__(self) -> "SearchService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# HTTP layer
+# ----------------------------------------------------------------------
+
+
+class SearchServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the service for its handlers.
+
+    Handler threads are non-daemon so ``server_close()`` joins them:
+    responses for already-accepted requests are fully written before
+    shutdown proceeds (daemon threads would be killed at interpreter
+    exit mid-write).  Two mechanisms bound how long keep-alive clients
+    can delay that join: the handler's idle read timeout (silent
+    connections), and the ``draining`` flag set by :meth:`shutdown`,
+    which makes every subsequent response close its connection (active
+    pollers would otherwise keep a persistent connection served
+    forever).
+    """
+
+    daemon_threads = False
+    allow_reuse_address = True
+    #: Once True, handlers answer the current request then close the
+    #: connection, so server_close() can join their threads.
+    draining = False
+
+    def __init__(self, address, service: SearchService, quiet: bool = True):
+        super().__init__(address, SearchRequestHandler)
+        self.service = service
+        self.quiet = quiet
+
+    def shutdown(self) -> None:
+        self.draining = True
+        super().shutdown()
+
+
+class _BodyTooLarge(ProtocolError):
+    """Request body exceeds the server's acceptance limit."""
+
+
+class SearchRequestHandler(BaseHTTPRequestHandler):
+    """Routes the JSON API onto a :class:`SearchService`."""
+
+    server_version = "hdoms-service"
+    protocol_version = "HTTP/1.1"
+    # Socket read timeout: closes idle keep-alive connections so
+    # server_close() cannot block on a silent client.
+    timeout = 10.0
+    # Upper bound on request bodies: a long-lived service must not
+    # buffer an arbitrarily large POST into memory.  Generous for any
+    # real /search_batch (a spectrum payload is a few KiB).
+    max_body_bytes = 64 * 1024 * 1024
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not getattr(self.server, "quiet", True):
+            super().log_message(format, *args)
+
+    # -- plumbing ------------------------------------------------------
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        if status >= 400 or getattr(self.server, "draining", False):
+            # Error paths may leave an unread request body on the
+            # socket (e.g. a POST to an unknown path); keeping the
+            # HTTP/1.1 connection alive would desync the next request,
+            # so close it.  A draining server closes every connection
+            # after its in-flight response so shutdown can join the
+            # handler threads.
+            self.close_connection = True
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _content_length(self) -> int:
+        raw = self.headers.get("Content-Length") or "0"
+        try:
+            return int(raw)
+        except ValueError:
+            raise ProtocolError(
+                f"bad Content-Length header: {raw!r}"
+            ) from None
+
+    def _read_json(self) -> object:
+        length = self._content_length()
+        if length <= 0:
+            raise ProtocolError("request body required")
+        if length > self.max_body_bytes:
+            raise _BodyTooLarge(
+                f"request body of {length} bytes exceeds the "
+                f"{self.max_body_bytes} byte limit"
+            )
+        try:
+            return json.loads(self.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ProtocolError(f"bad JSON body: {error}") from None
+
+    @property
+    def service(self) -> SearchService:
+        return self.server.service
+
+    # -- routes --------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        try:
+            if self.path == "/healthz":
+                self._send_json(200, self.service.healthz())
+            elif self.path == "/stats":
+                self._send_json(200, self.service.stats())
+            else:
+                self._send_json(404, {"error": f"unknown path {self.path!r}"})
+        except Exception as error:  # noqa: BLE001 - boundary
+            self._send_json(500, {"error": str(error)})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            if self.path == "/search":
+                self._handle_search()
+            elif self.path == "/search_batch":
+                self._handle_search_batch()
+            elif self.path == "/reload":
+                self._handle_reload()
+            else:
+                self._send_json(404, {"error": f"unknown path {self.path!r}"})
+        except _BodyTooLarge as error:
+            self._send_json(413, {"error": str(error)})
+        except ProtocolError as error:
+            self._send_json(400, {"error": str(error)})
+        except Exception as error:  # noqa: BLE001 - boundary
+            self._send_json(500, {"error": str(error)})
+
+    def _handle_search(self) -> None:
+        payload = self._read_json()
+        if isinstance(payload, dict) and "spectrum" in payload:
+            payload = payload["spectrum"]
+        spectrum = spectrum_from_payload(payload)
+        started = time.perf_counter()
+        psm, cached = self.service.search_one_detailed(spectrum)
+        self._send_json(
+            200,
+            {
+                "psm": psm.to_dict() if psm is not None else None,
+                "cached": cached,
+                "elapsed_ms": round(
+                    1000.0 * (time.perf_counter() - started), 3
+                ),
+            },
+        )
+
+    def _handle_search_batch(self) -> None:
+        payload = self._read_json()
+        if not isinstance(payload, dict) or "spectra" not in payload:
+            raise ProtocolError('body must be {"spectra": [...]}')
+        spectra_payload = payload["spectra"]
+        if not isinstance(spectra_payload, list):
+            raise ProtocolError('"spectra" must be a list')
+        spectra = [spectrum_from_payload(entry) for entry in spectra_payload]
+        started = time.perf_counter()
+        psms = self.service.search_many(spectra)
+        self._send_json(
+            200,
+            {
+                "psms": [
+                    psm.to_dict() if psm is not None else None for psm in psms
+                ],
+                "elapsed_ms": round(
+                    1000.0 * (time.perf_counter() - started), 3
+                ),
+            },
+        )
+
+    def _handle_reload(self) -> None:
+        payload: object = {}
+        if self._content_length() > 0:
+            payload = self._read_json()
+        if not isinstance(payload, dict):
+            # Don't silently reload the old path for a wrong-shaped
+            # body the client meant as a new index.
+            raise ProtocolError('body must be {} or {"index": "<path>"}')
+        index_path = payload.get("index")
+        if index_path is not None and not isinstance(index_path, str):
+            raise ProtocolError('"index" must be a string path')
+        try:
+            summary = self.service.reload(index_path)
+        except (ValueError, OSError) as error:
+            raise ProtocolError(str(error)) from None
+        self._send_json(
+            200,
+            {
+                "status": "ok",
+                "index": summary,
+                "num_references": self.service.index.num_references,
+            },
+        )
+
+
+def start_server(
+    service: SearchService, host: str = "127.0.0.1", port: int = 0
+) -> SearchServer:
+    """Bind a :class:`SearchServer` (port 0 = ephemeral); caller serves."""
+    return SearchServer((host, port), service)
+
+
+def serve(
+    index_path: Union[str, Path],
+    host: str = "127.0.0.1",
+    port: int = 8337,
+    config: Optional[ServiceConfig] = None,
+    quiet: bool = False,
+) -> int:
+    """Run the service until SIGINT/SIGTERM; drains before exiting.
+
+    This is the ``repro serve`` entry point.  Shutdown order matters:
+    stop accepting connections first, then drain the micro-batch queue
+    (queued requests still get real answers), then close the sharded
+    pool gracefully.
+    """
+    try:
+        service = SearchService(Path(index_path), config=config)
+        server = start_server(service, host, port)
+    except (ValueError, OSError) as error:
+        raise ServiceStartupError(str(error)) from error
+    server.quiet = quiet
+
+    def _shutdown(signum, frame) -> None:
+        # shutdown() must not run on the serve_forever thread.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    installed = []
+    for signame in ("SIGINT", "SIGTERM"):
+        signum = getattr(signal, signame, None)
+        if signum is None:
+            continue
+        try:
+            installed.append((signum, signal.signal(signum, _shutdown)))
+        except ValueError:  # not the main thread
+            pass
+    bound_host, bound_port = server.server_address[:2]
+    print(f"serving {service.index.summary()}")
+    print(
+        f"listening on http://{bound_host}:{bound_port} "
+        f"(max_batch={service.config.max_batch}, "
+        f"max_wait_ms={service.config.max_wait_ms})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+        service.close()
+        for signum, previous in installed:
+            signal.signal(signum, previous)
+        print("service drained and closed", flush=True)
+    return 0

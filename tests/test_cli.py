@@ -118,6 +118,184 @@ class TestSearchCommand:
         assert "accepted" in out
 
 
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--index", "i.npz"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8337
+        assert args.max_batch == 32
+        assert args.max_wait_ms == 5.0
+        assert args.cache_size == 1024
+        assert args.engine == "auto"
+        assert args.mode == "open"
+
+    def test_serve_requires_index(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_serve_rejects_bad_flag_combination(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--index",
+                "idx.npz",
+                "--engine",
+                "batched",
+                "--mode",
+                "cascade",
+            ]
+        )
+        assert code == 2
+        assert "cascade" in capsys.readouterr().err
+
+    def test_serve_reports_missing_index(self, tmp_path, capsys):
+        code = main(["serve", "--index", str(tmp_path / "nope.npz")])
+        assert code == 2
+        assert "serve:" in capsys.readouterr().err
+
+
+class TestIndexSearchJsonl:
+    @pytest.fixture(scope="class")
+    def built_index(self, tmp_path_factory):
+        tmp_path = tmp_path_factory.mktemp("jsonl-cli")
+        assert (
+            main(
+                [
+                    "workload",
+                    "--preset",
+                    "custom",
+                    "--references",
+                    "80",
+                    "--queries",
+                    "15",
+                    "--seed",
+                    "3",
+                    "--output-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "index",
+                    "build",
+                    "--library",
+                    str(tmp_path / "library.msp"),
+                    "--output",
+                    str(tmp_path / "library.npz"),
+                    "--dim",
+                    "512",
+                    "--seed",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        return tmp_path
+
+    def test_jsonl_streams_all_psms(self, built_index, tmp_path):
+        import json
+
+        output = tmp_path / "psms.jsonl"
+        code = main(
+            [
+                "index",
+                "search",
+                "--index",
+                str(built_index / "library.npz"),
+                "--queries",
+                str(built_index / "queries.mgf"),
+                "--output",
+                str(output),
+                "--output-format",
+                "jsonl",
+                "--chunk-size",
+                "4",
+            ]
+        )
+        assert code == 0
+        from repro.oms.psm import PSM
+
+        psms = [
+            PSM.from_dict(json.loads(line))
+            for line in output.read_text().splitlines()
+        ]
+        assert len(psms) > 5
+        # Pre-FDR stream: q-values are never assigned.
+        assert all(psm.q_value is None for psm in psms)
+        # Chunked streaming must not change any PSM: compare against a
+        # direct one-shot search over the same index.
+        from repro.index import LibraryIndex
+        from repro.ms.mgf import read_mgf
+        from repro.oms.search import HDOmsSearcher
+
+        index = LibraryIndex.load(built_index / "library.npz")
+        queries = list(read_mgf(built_index / "queries.mgf"))
+        direct = HDOmsSearcher.from_index(index).search(queries)
+        assert psms == direct.psms
+
+    def test_jsonl_to_stdout_keeps_stream_clean(self, built_index, capsys):
+        import json
+
+        code = main(
+            [
+                "index",
+                "search",
+                "--index",
+                str(built_index / "library.npz"),
+                "--queries",
+                str(built_index / "queries.mgf"),
+                "--output-format",
+                "jsonl",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        # stdout is pure JSONL; all chatter went to stderr.
+        for line in captured.out.splitlines():
+            json.loads(line)
+        assert "loaded index" in captured.err
+
+    def test_explicit_fdr_with_jsonl_warns(
+        self, built_index, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "index",
+                "search",
+                "--index",
+                str(built_index / "library.npz"),
+                "--queries",
+                str(built_index / "queries.mgf"),
+                "--output",
+                str(tmp_path / "psms.jsonl"),
+                "--output-format",
+                "jsonl",
+                "--fdr",
+                "0.05",
+            ]
+        )
+        assert code == 0
+        assert "--fdr is ignored" in capsys.readouterr().err
+
+    def test_rejects_bad_chunk_size(self, built_index):
+        code = main(
+            [
+                "index",
+                "search",
+                "--index",
+                str(built_index / "library.npz"),
+                "--queries",
+                str(built_index / "queries.mgf"),
+                "--chunk-size",
+                "0",
+            ]
+        )
+        assert code == 2
+
+
 class TestExperimentCommand:
     def test_fig12_runs(self, capsys):
         assert main(["experiment", "fig12"]) == 0

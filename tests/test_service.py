@@ -1,0 +1,851 @@
+"""Tests for the online search service (repro.service).
+
+Covers the satellite checklist: concurrent clients get PSMs
+bit-identical to a direct HDOmsSearcher run, repeated spectra hit the
+result cache, the ``max_wait_ms`` deadline actually coalesces batches,
+and ``/reload`` swaps the index without dropping queued requests.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.index import LibraryIndex
+from repro.hdc.spaces import HDSpaceConfig
+from repro.ms.spectrum import Spectrum
+from repro.ms.synthetic import WorkloadConfig, build_workload
+from repro.oms.psm import PSM, SearchResult
+from repro.oms.search import HDOmsSearcher, HDSearchConfig
+from repro.service import (
+    MISSING,
+    MicroBatchScheduler,
+    ProtocolError,
+    ResultCache,
+    SearchClient,
+    SearchService,
+    ServiceConfig,
+    ServiceError,
+    config_fingerprint,
+    spectrum_digest,
+    spectrum_from_payload,
+    spectrum_to_payload,
+    start_server,
+)
+
+
+@pytest.fixture(scope="module")
+def workload(binning):
+    return build_workload(
+        WorkloadConfig(
+            name="service-test", num_references=150, num_queries=30, seed=7
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def index(workload, binning):
+    return LibraryIndex.build(
+        workload.references,
+        space_config=HDSpaceConfig(
+            dim=512, num_bins=binning.num_bins, num_levels=8, seed=13
+        ),
+        binning=binning,
+        source="service-test",
+    )
+
+
+@pytest.fixture(scope="module")
+def index_path(index, tmp_path_factory):
+    return index.save(tmp_path_factory.mktemp("service") / "library.npz")
+
+
+@pytest.fixture(scope="module")
+def baseline(index, workload):
+    """query_id -> PSM (or absent) from a direct single-process run."""
+    result = HDOmsSearcher.from_index(index).search(workload.queries)
+    return {psm.query_id: psm for psm in result.psms}
+
+
+def make_service(index_path, **overrides):
+    defaults = dict(max_batch=8, max_wait_ms=10.0)
+    defaults.update(overrides)
+    return SearchService(index_path, ServiceConfig(**defaults))
+
+
+# ----------------------------------------------------------------------
+# protocol
+# ----------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_spectrum_payload_roundtrip(self, workload):
+        original = workload.queries[0]
+        restored = spectrum_from_payload(spectrum_to_payload(original))
+        assert restored.identifier == original.identifier
+        assert restored.precursor_mz == original.precursor_mz
+        assert restored.precursor_charge == original.precursor_charge
+        assert np.array_equal(restored.mz, original.mz)
+        assert np.array_equal(restored.intensity, original.intensity)
+        assert spectrum_digest(restored) == spectrum_digest(original)
+
+    def test_digest_ignores_identifier(self, workload):
+        import dataclasses
+
+        spectrum = workload.queries[0]
+        renamed = dataclasses.replace(spectrum, identifier="other-name")
+        assert spectrum_digest(renamed) == spectrum_digest(spectrum)
+
+    def test_digest_sees_peak_changes(self, workload):
+        spectrum = workload.queries[0]
+        perturbed = spectrum.copy_with_peaks(
+            spectrum.mz, spectrum.intensity * 2.0
+        )
+        assert spectrum_digest(perturbed) != spectrum_digest(spectrum)
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not a dict",
+            {},
+            {"precursor_mz": 500.0},
+            {
+                "precursor_mz": -1.0,
+                "precursor_charge": 2,
+                "mz": [1.0],
+                "intensity": [1.0],
+            },
+        ],
+    )
+    def test_bad_payload_raises(self, payload):
+        with pytest.raises(ProtocolError):
+            spectrum_from_payload(payload)
+
+    def test_fingerprint_separates_configs(self, index):
+        from repro.oms.candidates import WindowConfig
+
+        base = config_fingerprint(
+            index.provenance(), WindowConfig(), HDSearchConfig(), "dense"
+        )
+        other_mode = config_fingerprint(
+            index.provenance(),
+            WindowConfig(),
+            HDSearchConfig(mode="standard"),
+            "dense",
+        )
+        other_backend = config_fingerprint(
+            index.provenance(), WindowConfig(), HDSearchConfig(), "packed"
+        )
+        assert len({base, other_mode, other_backend}) == 3
+
+
+# ----------------------------------------------------------------------
+# PSM / SearchResult serialization (satellite)
+# ----------------------------------------------------------------------
+
+
+class TestPsmSerialization:
+    def test_psm_roundtrip(self):
+        psm = PSM(
+            query_id="q1",
+            reference_id="r9",
+            peptide_key="PEPTIDE/2",
+            score=431.0,
+            is_decoy=False,
+            precursor_mass_difference=79.9663,
+            mode="open",
+            q_value=0.004,
+        )
+        assert PSM.from_dict(psm.to_dict()) == psm
+
+    def test_psm_roundtrip_none_fields(self):
+        psm = PSM(
+            query_id="q2",
+            reference_id="DECOY_r1",
+            peptide_key=None,
+            score=-12.0,
+            is_decoy=True,
+            precursor_mass_difference=-0.01,
+        )
+        restored = PSM.from_dict(psm.to_dict())
+        assert restored == psm
+        assert restored.q_value is None
+
+    def test_psm_from_dict_missing_field(self):
+        with pytest.raises(ValueError, match="missing"):
+            PSM.from_dict({"query_id": "q"})
+
+    def test_search_result_roundtrip(self, index, workload):
+        result = HDOmsSearcher.from_index(index).search(workload.queries[:8])
+        restored = SearchResult.from_dict(result.to_dict())
+        assert restored.psms == result.psms
+        assert restored.num_queries == result.num_queries
+        assert restored.num_unmatched == result.num_unmatched
+        assert restored.backend_name == result.backend_name
+
+    def test_to_dict_is_json_safe(self, index, workload):
+        import json
+
+        result = HDOmsSearcher.from_index(index).search(workload.queries[:8])
+        parsed = json.loads(json.dumps(result.to_dict()))
+        assert SearchResult.from_dict(parsed).psms == result.psms
+
+
+# ----------------------------------------------------------------------
+# result cache
+# ----------------------------------------------------------------------
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get("a") is MISSING
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_stores_none_distinct_from_missing(self):
+        cache = ResultCache(capacity=4)
+        cache.put("unmatched", None)
+        assert cache.get("unmatched") is None
+        assert cache.get("absent") is MISSING
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b is now LRU
+        cache.put("c", 3)
+        assert cache.get("b") is MISSING
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats()["evictions"] == 1
+
+    def test_capacity_zero_disables_storage(self):
+        cache = ResultCache(capacity=0)
+        cache.put("a", 1)
+        assert cache.get("a") is MISSING
+        assert len(cache) == 0
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=-1)
+
+    def test_clear_keeps_stats(self):
+        cache = ResultCache(capacity=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert cache.get("a") is MISSING
+        assert cache.stats()["hits"] == 1
+
+
+# ----------------------------------------------------------------------
+# micro-batch scheduler
+# ----------------------------------------------------------------------
+
+
+class RecordingRunner:
+    """Echo runner that records every batch it executes."""
+
+    def __init__(self, delay: float = 0.0):
+        self.batches = []
+        self.delay = delay
+
+    def __call__(self, items):
+        if self.delay:
+            time.sleep(self.delay)
+        self.batches.append(list(items))
+        return [f"done-{item}" for item in items]
+
+
+class TestScheduler:
+    def test_full_batch_flushes_without_waiting(self):
+        runner = RecordingRunner()
+        scheduler = MicroBatchScheduler(runner, max_batch=4, max_wait_ms=60_000)
+        try:
+            futures = [scheduler.submit(i) for i in range(4)]
+            results = [f.result(timeout=5) for f in futures]
+            assert results == [f"done-{i}" for i in range(4)]
+            assert runner.batches == [[0, 1, 2, 3]]
+            assert scheduler.stats.snapshot()["full_flushes"] == 1
+        finally:
+            scheduler.close()
+
+    def test_max_wait_flush_coalesces_trickle(self):
+        # Six submissions well inside the deadline must come out as ONE
+        # batch: the flusher holds the first request back max_wait_ms
+        # and everything arriving meanwhile rides along.
+        runner = RecordingRunner()
+        scheduler = MicroBatchScheduler(runner, max_batch=64, max_wait_ms=500)
+        try:
+            futures = [scheduler.submit(i) for i in range(6)]
+            for future in futures:
+                future.result(timeout=5)
+            assert runner.batches == [[0, 1, 2, 3, 4, 5]]
+            stats = scheduler.stats.snapshot()
+            assert stats["timeout_flushes"] == 1
+            assert stats["max_batch_size"] == 6
+        finally:
+            scheduler.close()
+
+    def test_oversize_burst_splits_into_max_batches(self):
+        runner = RecordingRunner()
+        scheduler = MicroBatchScheduler(runner, max_batch=3, max_wait_ms=200)
+        try:
+            futures = [scheduler.submit(i) for i in range(7)]
+            for future in futures:
+                future.result(timeout=5)
+            assert [len(batch) for batch in runner.batches[:2]] == [3, 3]
+            assert sum(len(batch) for batch in runner.batches) == 7
+        finally:
+            scheduler.close()
+
+    def test_close_drains_queue(self):
+        runner = RecordingRunner(delay=0.05)
+        scheduler = MicroBatchScheduler(runner, max_batch=2, max_wait_ms=60_000)
+        futures = [scheduler.submit(i) for i in range(5)]
+        scheduler.close(drain=True)
+        assert [f.result(timeout=0) for f in futures] == [
+            f"done-{i}" for i in range(5)
+        ]
+        # The odd-sized tail only flushed because close() drained it —
+        # the stats must attribute it to the drain, not a timeout.
+        snapshot = scheduler.stats.snapshot()
+        assert snapshot["drain_flushes"] >= 1
+        assert snapshot["timeout_flushes"] == 0
+
+    def test_close_without_drain_fails_futures(self):
+        runner = RecordingRunner(delay=0.2)
+        scheduler = MicroBatchScheduler(runner, max_batch=1, max_wait_ms=0)
+        first = scheduler.submit("a")  # occupies the runner
+        time.sleep(0.05)
+        queued = scheduler.submit("b")
+        scheduler.close(drain=False)
+        assert first.result(timeout=5) == "done-a"
+        with pytest.raises(RuntimeError, match="closed"):
+            queued.result(timeout=5)
+        with pytest.raises(RuntimeError, match="closed"):
+            scheduler.submit("c")
+
+    def test_close_without_drain_mid_wait_runs_no_phantom_batch(self):
+        # The flusher is parked in its fill-wait when close(drain=False)
+        # empties the queue: no zero-size batch may reach the runner or
+        # the stats.
+        runner = RecordingRunner()
+        scheduler = MicroBatchScheduler(runner, max_batch=10, max_wait_ms=60_000)
+        futures = [scheduler.submit(i) for i in range(2)]
+        time.sleep(0.05)  # let the flusher enter the fill-wait
+        scheduler.close(drain=False)
+        for future in futures:
+            with pytest.raises(RuntimeError, match="closed"):
+                future.result(timeout=5)
+        assert runner.batches == []
+        assert scheduler.stats.snapshot()["batches"] == 0
+
+    def test_runner_exception_fails_batch_not_scheduler(self):
+        calls = {"n": 0}
+
+        def flaky(items):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("boom")
+            return list(items)
+
+        scheduler = MicroBatchScheduler(flaky, max_batch=1, max_wait_ms=0)
+        try:
+            with pytest.raises(RuntimeError, match="boom"):
+                scheduler.submit("x").result(timeout=5)
+            assert scheduler.submit("y").result(timeout=5) == "y"
+        finally:
+            scheduler.close()
+
+    def test_rejects_bad_parameters(self):
+        runner = RecordingRunner()
+        with pytest.raises(ValueError):
+            MicroBatchScheduler(runner, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatchScheduler(runner, max_wait_ms=-1)
+
+
+# ----------------------------------------------------------------------
+# SearchService (no HTTP)
+# ----------------------------------------------------------------------
+
+
+class TestSearchService:
+    def test_results_identical_to_direct_searcher(
+        self, index_path, workload, baseline
+    ):
+        with make_service(index_path) as service:
+            for query in workload.queries:
+                assert service.search_one(query) == baseline.get(
+                    query.identifier
+                )
+
+    def test_sharded_engine_identical(self, index_path, workload, baseline):
+        with make_service(
+            index_path, engine="sharded", num_shards=2, num_workers=0
+        ) as service:
+            for query in workload.queries:
+                assert service.search_one(query) == baseline.get(
+                    query.identifier
+                )
+
+    def test_concurrent_clients_identical(
+        self, index_path, workload, baseline
+    ):
+        with make_service(index_path, max_wait_ms=20.0) as service:
+            results = {}
+            errors = []
+
+            def client(shard):
+                try:
+                    for query in workload.queries[shard::8]:
+                        results[query.identifier] = service.search_one(query)
+                except Exception as error:  # pragma: no cover - fail loudly
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=client, args=(shard,))
+                for shard in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors
+            assert len(results) == len(workload.queries)
+            for query in workload.queries:
+                assert results[query.identifier] == baseline.get(
+                    query.identifier
+                )
+            snapshot = service.scheduler.stats.snapshot()
+            assert snapshot["requests"] == len(workload.queries)
+
+    def test_repeated_spectrum_hits_cache(self, index_path, workload):
+        with make_service(index_path) as service:
+            query = workload.queries[0]
+            first, cached_first = service.search_one_detailed(query)
+            second, cached_second = service.search_one_detailed(query)
+            assert not cached_first
+            assert cached_second
+            assert first == second
+            assert service.cache.stats()["hits"] == 1
+
+    def test_cache_hit_rewrites_query_id(self, index_path, workload):
+        import dataclasses
+
+        with make_service(index_path) as service:
+            query = workload.queries[0]
+            original = service.search_one(query)
+            assert original is not None
+            renamed = dataclasses.replace(query, identifier="resubmitted")
+            psm, cached = service.search_one_detailed(renamed)
+            assert cached
+            assert psm.query_id == "resubmitted"
+            assert psm == dataclasses.replace(
+                original, query_id="resubmitted"
+            )
+
+    def test_unmatched_query_cached_as_none(self, index_path, workload):
+        import dataclasses
+
+        with make_service(index_path) as service:
+            # A precursor far outside every window can match nothing.
+            hopeless = dataclasses.replace(
+                workload.queries[0], precursor_mz=9000.0
+            )
+            assert service.search_one(hopeless) is None
+            psm, cached = service.search_one_detailed(hopeless)
+            assert psm is None
+            assert cached
+
+    def test_search_many_dedupes_identical_spectra(
+        self, index_path, workload, baseline
+    ):
+        import dataclasses
+
+        with make_service(index_path) as service:
+            query = workload.queries[0]
+            renamed = dataclasses.replace(query, identifier="twin")
+            results = service.search_many([query, renamed, query])
+            expected = baseline.get(query.identifier)
+            assert results[0] == expected
+            assert results[2] == expected
+            assert results[1] == dataclasses.replace(
+                expected, query_id="twin"
+            )
+            # One unique digest -> one scheduled search.
+            assert service.scheduler.stats.snapshot()["requests"] == 1
+
+    def test_auto_engine_honours_worker_request(self, index_path):
+        with make_service(index_path, num_workers=2) as service:
+            assert service.engine_name.startswith("sharded")
+        with make_service(index_path) as service:
+            assert service.engine_name == "batched-dense"
+
+    def test_search_many_aligns_and_coalesces(
+        self, index_path, workload, baseline
+    ):
+        with make_service(index_path, max_batch=64) as service:
+            results = service.search_many(workload.queries)
+            assert len(results) == len(workload.queries)
+            for query, psm in zip(workload.queries, results):
+                assert psm == baseline.get(query.identifier)
+            # The whole list entered the scheduler together: far fewer
+            # batches than requests.
+            snapshot = service.scheduler.stats.snapshot()
+            assert snapshot["batches"] < len(workload.queries)
+
+    def test_reload_swaps_without_dropping_queued_requests(
+        self, index_path, workload, baseline
+    ):
+        with make_service(index_path, max_wait_ms=20.0) as service:
+            results = {}
+            errors = []
+
+            def client(shard):
+                try:
+                    for query in workload.queries[shard::6]:
+                        results[query.identifier] = service.search_one(query)
+                except Exception as error:  # pragma: no cover - fail loudly
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=client, args=(shard,))
+                for shard in range(6)
+            ]
+            for thread in threads:
+                thread.start()
+            service.reload()  # same path: swap engine mid-traffic
+            for thread in threads:
+                thread.join()
+            assert not errors
+            for query in workload.queries:
+                assert results[query.identifier] == baseline.get(
+                    query.identifier
+                )
+            assert service.stats()["requests"]["reloads"] == 1
+
+    def test_stale_generation_result_is_not_cached(
+        self, index_path, workload
+    ):
+        # A result computed on a pre-reload engine must not enter the
+        # cache after reload() cleared it: a rebuilt index at the same
+        # path can share a fingerprint, so the generation is the guard.
+        with make_service(index_path) as service:
+            query = workload.queries[0]
+            digest = spectrum_digest(query)
+            key = (service._fingerprint, digest)
+            service._finish(digest, (None, service._fingerprint, -1))
+            assert service.cache.get(key) is MISSING
+            service._finish(
+                digest, (None, service._fingerprint, service._generation)
+            )
+            assert service.cache.get(key) is None
+
+    def test_reload_bumps_generation(self, index_path, workload):
+        with make_service(index_path) as service:
+            assert service._generation == 0
+            service.reload()
+            assert service._generation == 1
+
+    def test_reload_requires_path_for_memory_index(self, index):
+        service = SearchService(index, ServiceConfig(max_wait_ms=0.0))
+        try:
+            with pytest.raises(ValueError, match="in-memory"):
+                service.reload()
+        finally:
+            service.close()
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"engine": "batched", "mode": "cascade"},
+            {"engine": "batched", "backend": "packed"},
+            {"engine": "batched", "num_shards": 2},
+            {"engine": "batched", "num_workers": 2},
+            {"engine": "batched", "num_workers": None},
+            {"engine": "warp-drive"},
+            {"mode": "sideways"},
+            {"num_workers": -1},
+        ],
+    )
+    def test_config_rejects_unsupported_combinations(self, overrides):
+        with pytest.raises(ValueError):
+            ServiceConfig(**overrides)
+
+    def test_stats_shape(self, index_path, workload):
+        with make_service(index_path) as service:
+            service.search_one(workload.queries[0])
+            stats = service.stats()
+            assert stats["requests"]["search"] == 1
+            assert stats["cache"]["misses"] >= 1
+            assert stats["scheduler"]["batches"] >= 1
+            assert stats["latency"]["mean_ms"] is not None
+            assert stats["engine"]["num_references"] == len(
+                service.index
+            )
+
+    def test_close_is_idempotent(self, index_path):
+        service = make_service(index_path)
+        service.close()
+        service.close()
+
+
+# ----------------------------------------------------------------------
+# HTTP API
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def http_service(index_path):
+    service = SearchService(
+        index_path, ServiceConfig(max_batch=8, max_wait_ms=10.0)
+    )
+    server = start_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield service, SearchClient(f"http://{host}:{port}")
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+    service.close()
+
+
+class TestHttpApi:
+    def test_concurrent_http_clients_identical(
+        self, http_service, workload, baseline
+    ):
+        _service, client = http_service
+        results = {}
+        errors = []
+
+        def worker(shard):
+            try:
+                for query in workload.queries[shard::8]:
+                    results[query.identifier] = client.search(query)
+            except Exception as error:  # pragma: no cover - fail loudly
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(shard,)) for shard in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        for query in workload.queries:
+            assert results[query.identifier] == baseline.get(query.identifier)
+
+    def test_search_batch_round_trip(self, http_service, workload, baseline):
+        _service, client = http_service
+        psms = client.search_batch(workload.queries[:10])
+        assert psms == [
+            baseline.get(query.identifier) for query in workload.queries[:10]
+        ]
+
+    def test_search_reports_cache_flag(self, http_service, workload):
+        _service, client = http_service
+        query = workload.queries[1]
+        client.search(query)
+        reply = client.search_detailed(query)
+        assert reply["cached"] is True
+        assert reply["elapsed_ms"] >= 0
+
+    def test_healthz(self, http_service):
+        service, client = http_service
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["num_references"] == service.index.num_references
+        assert "LibraryIndex" in health["index"]
+
+    def test_stats_endpoint(self, http_service):
+        _service, client = http_service
+        stats = client.stats()
+        assert {"requests", "latency", "cache", "scheduler", "engine"} <= set(
+            stats
+        )
+
+    def test_reload_under_load(self, http_service, workload, baseline):
+        _service, client = http_service
+        results = {}
+        errors = []
+
+        def worker(shard):
+            try:
+                for query in workload.queries[shard::4]:
+                    results[query.identifier] = client.search(query)
+            except Exception as error:  # pragma: no cover - fail loudly
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(shard,)) for shard in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        reply = client.reload()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert reply["status"] == "ok"
+        for query in workload.queries:
+            assert results[query.identifier] == baseline.get(query.identifier)
+
+    def test_bad_json_is_400(self, http_service):
+        import urllib.error
+        import urllib.request
+
+        _service, client = http_service
+        request = urllib.request.Request(
+            client.base_url + "/search",
+            data=b"this is not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_bad_spectrum_is_400(self, http_service, workload):
+        _service, client = http_service
+        bad = Spectrum(
+            identifier="ok",
+            precursor_mz=500.0,
+            precursor_charge=2,
+            mz=np.array([100.0]),
+            intensity=np.array([1.0]),
+        )
+        # Valid spectrum passes; now mutilate the payload by hand.
+        payload = spectrum_to_payload(bad)
+        del payload["precursor_mz"]
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("POST", "/search", {"spectrum": payload})
+        assert excinfo.value.status == 400
+
+    def test_reload_with_non_string_index_is_400(self, http_service):
+        _service, client = http_service
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("POST", "/reload", {"index": 5})
+        assert excinfo.value.status == 400
+
+    def test_reload_with_non_dict_body_is_400(self, http_service):
+        # A wrong-shaped body must not silently reload the old path.
+        _service, client = http_service
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("POST", "/reload", ["/some/index.npz"])
+        assert excinfo.value.status == 400
+
+    def test_bad_content_length_is_400(self, http_service):
+        import http.client
+
+        _service, client = http_service
+        host, port = client.base_url.replace("http://", "").rsplit(":", 1)
+        conn = http.client.HTTPConnection(host, int(port), timeout=10)
+        try:
+            conn.putrequest("POST", "/search")
+            conn.putheader("Content-Type", "application/json")
+            conn.putheader("Content-Length", "abc")
+            conn.endheaders()
+            response = conn.getresponse()
+            assert response.status == 400
+            response.read()
+        finally:
+            conn.close()
+
+    def test_oversized_body_is_413(self, http_service, workload):
+        from repro.service.server import SearchRequestHandler
+
+        _service, client = http_service
+        original = SearchRequestHandler.max_body_bytes
+        SearchRequestHandler.max_body_bytes = 10
+        try:
+            with pytest.raises(ServiceError) as excinfo:
+                client.search(workload.queries[0])
+            assert excinfo.value.status == 413
+        finally:
+            SearchRequestHandler.max_body_bytes = original
+
+    def test_unknown_path_is_404(self, http_service):
+        _service, client = http_service
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_shutdown_closes_active_keepalive_connections(self, index_path):
+        # An actively-polling persistent connection must not block
+        # server_close() from joining its (non-daemon) handler thread.
+        import http.client
+
+        service = SearchService(index_path, ServiceConfig(max_wait_ms=1.0))
+        server = start_server(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            conn.request("GET", "/healthz")
+            conn.getresponse().read()  # connection is now persistent
+            stopper = threading.Thread(target=server.shutdown)
+            stopper.start()
+            # Keep polling on the same connection; the draining server
+            # must answer then close it (or refuse the reconnect).
+            deadline = time.time() + 10
+            closed = False
+            while time.time() < deadline and not closed:
+                try:
+                    conn.request("GET", "/healthz")
+                    response = conn.getresponse()
+                    response.read()
+                    closed = response.getheader("Connection") == "close"
+                except (http.client.HTTPException, OSError):
+                    closed = True
+                time.sleep(0.02)
+            assert closed
+            stopper.join(timeout=10)
+            assert not stopper.is_alive()
+            start = time.time()
+            server.server_close()  # joins handler threads
+            assert time.time() - start < 5
+            thread.join(timeout=5)
+        finally:
+            conn.close()
+            service.close()
+
+    def test_unreachable_server_raises_service_error(self):
+        client = SearchClient("http://127.0.0.1:9", timeout=1)
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client.healthz()
+
+
+# ----------------------------------------------------------------------
+# graceful sharded close (satellite)
+# ----------------------------------------------------------------------
+
+
+class TestGracefulShardedClose:
+    def test_close_joins_pool_gracefully(self, index, workload, baseline):
+        from repro.index import ShardedSearcher
+
+        searcher = ShardedSearcher(index, num_shards=2, num_workers=2)
+        result = searcher.search(workload.queries)
+        assert {psm.query_id: psm for psm in result.psms} == baseline
+        searcher.close()
+        assert searcher._pool is None
+        searcher.close()  # idempotent
+
+    def test_searcher_usable_after_close_reopens_pool(
+        self, index, workload, baseline
+    ):
+        from repro.index import ShardedSearcher
+
+        with ShardedSearcher(index, num_shards=2, num_workers=2) as searcher:
+            searcher.search(workload.queries)
+            searcher.close()
+            result = searcher.search(workload.queries)
+        assert {psm.query_id: psm for psm in result.psms} == baseline
