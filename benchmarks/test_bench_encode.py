@@ -1,0 +1,140 @@
+"""Bench: fused batch encoding vs the row-loop baseline.
+
+The fused :meth:`~repro.hdc.encoder.SpectrumEncoder.encode_batch`
+pipeline concatenates every peak of a batch, gathers ID/level codebook
+rows with two fancy-index operations, and segment-sums per spectrum.
+This benchmark races it against the *row-loop baseline* — the seed
+implementation: a Python loop over spectra, each paying per-spectrum
+quantisation, a per-peak Python loop stacking ID rows, and one einsum —
+and asserts the fused path wins by >= 3x at batch 256.
+
+Parity is asserted before timing, so the benchmark doubles as a
+correctness gate.  Results are appended to
+``benchmarks/results/BENCH_encode.json`` as a per-machine perf
+trajectory (one entry per run; gitignored because the entries are
+timing-dependent).
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.hdc.encoder import SpectrumEncoder, sign_with_tiebreak
+from repro.hdc.spaces import HDSpace, HDSpaceConfig
+from repro.ms.vectorize import BinningConfig, SparseVector, quantize_intensities
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_encode.json"
+
+BATCH = 256
+DIM = 2048
+NUM_LEVELS = 16
+MAX_PEAKS = 48
+TIMING_ROUNDS = 5
+MIN_SPEEDUP = 3.0
+
+
+def _row_loop_encode_batch(encoder: SpectrumEncoder, vectors) -> np.ndarray:
+    """The seed implementation of ``encode_batch``, kept verbatim as the
+    baseline: per-spectrum Python loop, per-peak ID row stacking, one
+    einsum accumulator per spectrum."""
+    space = encoder.space
+    out = np.empty((len(vectors), space.dim), dtype=np.int8)
+    for row, vector in enumerate(vectors):
+        if len(vector) == 0:
+            out[row] = space.tiebreak
+            continue
+        levels, _scale = quantize_intensities(vector.values, space.num_levels)
+        ids = np.empty((len(vector), space.dim), dtype=np.int8)
+        for peak, bin_index in enumerate(vector.indices.tolist()):
+            ids[peak] = space.id_vector(bin_index)
+        accumulator = np.einsum(
+            "pd,pd->d",
+            ids.astype(np.int32),
+            space.level_vectors[levels].astype(np.int32),
+            optimize=True,
+        )
+        out[row] = sign_with_tiebreak(accumulator, space.tiebreak)
+    return out
+
+
+def _best_of(func, rounds=TIMING_ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _append_trajectory(entry: dict) -> None:
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    history = []
+    if RESULTS_PATH.exists():
+        try:
+            history = json.loads(RESULTS_PATH.read_text())
+        except json.JSONDecodeError:
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(entry)
+    RESULTS_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def test_bench_encode_fused_vs_row_loop(capsys):
+    """Fused batch encode must be bit-identical and >= 3x the row loop."""
+    binning = BinningConfig()
+    space = HDSpace(
+        HDSpaceConfig(
+            dim=DIM, num_bins=binning.num_bins, num_levels=NUM_LEVELS, seed=7
+        )
+    )
+    encoder = SpectrumEncoder(space, binning)
+    rng = np.random.default_rng(21)
+    vectors = []
+    for _ in range(BATCH):
+        num_peaks = int(rng.integers(8, MAX_PEAKS + 1))
+        indices = np.sort(
+            rng.choice(binning.num_bins, size=num_peaks, replace=False)
+        ).astype(np.int64)
+        values = rng.gamma(2.0, 100.0, size=num_peaks)
+        vectors.append(SparseVector(indices, values, binning.num_bins))
+
+    # Warm both paths: materialises the ID bank for the fused pipeline
+    # and the per-bin cache for the baseline, so neither pays one-time
+    # codebook generation inside the timed region.
+    fused = encoder.encode_batch(vectors)
+    baseline = _row_loop_encode_batch(encoder, vectors)
+    assert np.array_equal(fused, baseline), "fused encode must be bit-identical"
+
+    fused_seconds = _best_of(lambda: encoder.encode_batch(vectors))
+    baseline_seconds = _best_of(lambda: _row_loop_encode_batch(encoder, vectors))
+    speedup = baseline_seconds / max(fused_seconds, 1e-12)
+    spectra_per_second = BATCH / max(fused_seconds, 1e-12)
+
+    _append_trajectory(
+        {
+            "bench": "encode_batch",
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "batch": BATCH,
+            "dim": DIM,
+            "num_levels": NUM_LEVELS,
+            "mean_peaks": float(np.mean([len(v) for v in vectors])),
+            "row_loop_seconds": round(baseline_seconds, 6),
+            "fused_seconds": round(fused_seconds, 6),
+            "speedup": round(speedup, 2),
+            "spectra_per_second": round(spectra_per_second, 1),
+        }
+    )
+    with capsys.disabled():
+        print(
+            f"\n[bench-encode] batch {BATCH} @ D={DIM}: "
+            f"row-loop {1000 * baseline_seconds:.2f} ms, "
+            f"fused {1000 * fused_seconds:.2f} ms "
+            f"({speedup:.1f}x, {spectra_per_second:.0f} spectra/s)"
+        )
+    assert speedup >= MIN_SPEEDUP, (
+        f"fused encode_batch only {speedup:.2f}x the row-loop baseline "
+        f"(need >= {MIN_SPEEDUP}x at batch {BATCH})"
+    )

@@ -166,12 +166,16 @@ class InMemoryEncoder:
 
         Dimensions whose exact accumulator is zero are excluded: their
         sign is resolved by the digital tiebreak, so neither outcome is
-        an "error".
+        an "error".  The exact accumulators come from the fused
+        :meth:`~repro.hdc.encoder.SpectrumEncoder.accumulate_batch`
+        (bit-identical to per-spectrum ``accumulate``, one vectorized
+        pass), so only the analog side pays per-spectrum cost.
         """
         mismatches = 0
         comparable = 0
-        for vector in vectors:
-            exact = self.exact_encoder.accumulate(vector)
+        vectors = list(vectors)
+        exact_accumulators = self.exact_encoder.accumulate_batch(vectors)
+        for vector, exact in zip(vectors, exact_accumulators):
             analog = self.accumulate(vector)
             nonzero = exact != 0
             mismatches += int(

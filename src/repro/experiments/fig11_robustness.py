@@ -23,7 +23,7 @@ from ..hdc.spaces import HDSpace, HDSpaceConfig
 from ..ms.decoy import append_decoys
 from ..ms.preprocessing import PreprocessingConfig, preprocess
 from ..ms.synthetic import SyntheticWorkload
-from ..ms.vectorize import BinningConfig
+from ..ms.vectorize import BinningConfig, vectorize
 from ..oms.candidates import CandidateIndex, WindowConfig
 from ..oms.fdr import grouped_fdr
 from ..oms.pipeline import decoy_factory_for
@@ -101,6 +101,12 @@ def run_fig11(
         if processed is not None:
             processed_queries.append((query, processed))
 
+    # Binning is shared across the precision sweep, so vectorise each
+    # spectrum once and feed SparseVectors straight into the fused
+    # batch encoder (encode_batch) for every precision.
+    reference_vectors = [vectorize(p, binning) for _, p in kept]
+    query_vectors = [vectorize(p, binning) for _, p in processed_queries]
+
     columns = {precision: [] for precision in id_precisions}
     for precision in id_precisions:
         space = HDSpace(
@@ -114,8 +120,8 @@ def run_fig11(
             )
         )
         encoder = SpectrumEncoder(space, binning)
-        reference_hvs = encoder.encode_batch([p for _, p in kept])
-        query_hvs = encoder.encode_batch([p for _, p in processed_queries])
+        reference_hvs = encoder.encode_batch(reference_vectors)
+        query_hvs = encoder.encode_batch(query_vectors)
         rng = np.random.default_rng(seed + 100 * precision)
         for ber in bers:
             columns[precision].append(

@@ -23,9 +23,27 @@ _POPCOUNT_TABLE = np.array(
 )
 
 
-def popcount(words: np.ndarray) -> np.ndarray:
-    """Per-element population count of a uint8 array (any shape)."""
+def _popcount_lut(words: np.ndarray) -> np.ndarray:
+    """Table-lookup population count (works on every NumPy version)."""
     return _POPCOUNT_TABLE[words].astype(np.int64)
+
+
+if hasattr(np, "bitwise_count"):  # NumPy >= 2.0
+
+    def popcount(words: np.ndarray) -> np.ndarray:
+        """Per-element population count of a uint8 array (any shape).
+
+        Uses the native ``np.bitwise_count`` ufunc (hardware popcnt, no
+        gather through a lookup table); :func:`_popcount_lut` is the
+        bit-identical fallback for NumPy < 2.0.
+        """
+        return np.bitwise_count(words).astype(np.int64)
+
+else:  # pragma: no cover - exercised only on NumPy < 2.0
+
+    def popcount(words: np.ndarray) -> np.ndarray:
+        """Per-element population count of a uint8 array (any shape)."""
+        return _popcount_lut(words)
 
 
 def pack_bipolar(vectors: np.ndarray) -> np.ndarray:

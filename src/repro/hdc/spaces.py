@@ -12,7 +12,11 @@ An :class:`HDSpace` owns every random codebook the encoder needs:
 
 ID vectors are generated lazily per bin from a counter-based seed and
 cached, so a space over 14k bins at D=8192 only materialises the rows a
-workload actually touches.
+workload actually touches.  Batch encoding instead materialises the
+whole codebook once as a contiguous ``(num_bins, dim)`` *ID bank*
+(:meth:`HDSpace.id_bank`) so per-peak rows become one fancy-index
+gather instead of a Python loop; the bank reuses any rows the lazy
+cache already generated and both views stay bit-identical.
 """
 
 from __future__ import annotations
@@ -98,6 +102,10 @@ class HDSpace:
             tiebreak_rng.integers(0, 2, size=config.dim, dtype=np.int8) * 2 - 1
         ).astype(np.int8)
         self._id_cache: Dict[int, np.ndarray] = {}
+        self._id_bank: Optional[np.ndarray] = None
+        #: Cumulative rows requested through gather_id_rows; once this
+        #: reaches num_bins the contiguous bank pays for itself.
+        self._id_demand = 0
 
     @property
     def dim(self) -> int:
@@ -123,18 +131,83 @@ class HDSpace:
             )
         cached = self._id_cache.get(bin_index)
         if cached is None:
-            cached = self._make_id(bin_index)
-            cached.setflags(write=False)
+            if self._id_bank is not None:
+                # Views of the read-only bank inherit its write protection.
+                cached = self._id_bank[bin_index]
+            else:
+                cached = self._make_id(bin_index)
+                cached.setflags(write=False)
             self._id_cache[bin_index] = cached
         return cached
 
+    def id_bank(self) -> np.ndarray:
+        """The full ID codebook as one contiguous ``(num_bins, dim)`` int8.
+
+        Built lazily on first use (reusing any rows the per-bin cache
+        already generated) and then shared: this is the gather target of
+        the fused batch encoder, turning per-peak row stacking into one
+        fancy-index operation.  The bank is read-only.
+        """
+        if self._id_bank is None:
+            bank = np.empty(
+                (self.config.num_bins, self.config.dim), dtype=np.int8
+            )
+            for bin_index in range(self.config.num_bins):
+                cached = self._id_cache.get(bin_index)
+                bank[bin_index] = (
+                    cached if cached is not None else self._make_id(bin_index)
+                )
+            bank.setflags(write=False)
+            self._id_bank = bank
+        return self._id_bank
+
+    def gather_id_rows(self, bin_indices: np.ndarray) -> np.ndarray:
+        """Gather bin rows into ``(n, dim)`` int8, adaptively.
+
+        Once the contiguous bank is materialised — or cumulative demand
+        across calls reaches ``num_bins``, at which point building it
+        pays for itself — rows come from one bank fancy-index.  Before
+        that, only the *distinct* bins actually touched are generated
+        (through the lazy per-bin cache) and gathered from a compact
+        per-call matrix, so a small one-off workload never pays
+        full-codebook generation (~100-200 ms at D=2048-8192).
+
+        Out-of-range indices raise :class:`IndexError` on both paths
+        (negative indices would otherwise silently wrap in the bank
+        gather; the check is O(n) against an O(n * dim) gather).
+        """
+        if bin_indices.size and (
+            int(bin_indices.min()) < 0
+            or int(bin_indices.max()) >= self.config.num_bins
+        ):
+            raise IndexError(
+                f"bin indices outside [0, {self.config.num_bins})"
+            )
+        if self._id_bank is None:
+            self._id_demand += len(bin_indices)
+            if self._id_demand < self.config.num_bins:
+                if len(bin_indices) == 0:
+                    return np.empty((0, self.config.dim), dtype=np.int8)
+                unique, compact = np.unique(bin_indices, return_inverse=True)
+                rows = np.stack(
+                    [self.id_vector(int(b)) for b in unique]
+                )
+                return rows[compact]
+        return self.id_bank()[bin_indices]
+
     def id_matrix(self, bin_indices: Iterable[int]) -> np.ndarray:
-        """Stack ID hypervectors for several bins into ``(n, dim)`` int8."""
-        indices = list(bin_indices)
-        matrix = np.empty((len(indices), self.config.dim), dtype=np.int8)
-        for row, bin_index in enumerate(indices):
-            matrix[row] = self.id_vector(bin_index)
-        return matrix
+        """Stack ID hypervectors for several bins into ``(n, dim)`` int8.
+
+        Accepts any integer iterable *or* an ndarray (no ``.tolist()``
+        round trip); rows are gathered in one fancy-index operation via
+        :meth:`gather_id_rows`.
+        """
+        indices = np.asarray(
+            bin_indices if isinstance(bin_indices, np.ndarray)
+            else list(bin_indices),
+            dtype=np.int64,
+        )
+        return self.gather_id_rows(indices)
 
     def level_vector(self, level: int) -> np.ndarray:
         """Level hypervector for quantised intensity *level*."""

@@ -230,6 +230,13 @@ class LibraryIndex:
         charges = np.array(
             [ref.precursor_charge for ref in kept_originals], dtype=np.int64
         )
+        # Materialise the contiguous ID bank up front: every chunk below
+        # goes through the fused encode_batch pipeline, which gathers ID
+        # rows from the bank, and building it once here keeps the first
+        # chunk from absorbing the codebook construction.
+        bank_builder = getattr(encoder.space, "id_bank", None)
+        if bank_builder is not None:
+            bank_builder()
         hypervectors = np.empty((num_kept, encoder.space.dim), dtype=np.int8)
         for charge in np.unique(charges):
             positions = np.flatnonzero(charges == charge)

@@ -24,6 +24,7 @@ from ..ms.preprocessing import PreprocessingConfig, preprocess
 from ..ms.spectrum import Spectrum
 from .candidates import WindowConfig
 from .psm import PSM, SearchResult
+from .search import encode_queries
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..index.library import LibraryIndex
@@ -143,11 +144,18 @@ class BatchedHDOmsSearcher:
         return self.windows.open_window_da
 
     def search(self, queries: Sequence[Spectrum]) -> SearchResult:
-        """Search all queries via one dense matmul per charge bucket."""
+        """Search all queries via one dense matmul per charge bucket.
+
+        The whole batch is encoded through the fused vectorized pipeline
+        first (one ``encode_batch`` pass in arrival order — this is what
+        the service's micro-batch flushes ride on), then bucketed by
+        charge; BER injection stays per query in arrival order so
+        results are bit-identical to the per-query schedule.
+        """
         start = time.perf_counter()
         prepared: Dict[int, List[Tuple[int, Spectrum, np.ndarray]]] = {}
         unmatched = 0
-        order_index = 0
+        admitted: List[Tuple[Spectrum, Spectrum, int]] = []
         for query in queries:
             processed = preprocess(query, self.preprocessing)
             if processed is None:
@@ -160,13 +168,18 @@ class BatchedHDOmsSearcher:
             if bucket_key is None and self.windows.charge_aware:
                 unmatched += 1
                 continue
-            query_hv = self.encoder.encode(processed)
+            admitted.append((query, processed, bucket_key))
+        query_hvs = encode_queries(
+            self.encoder, [processed for _, processed, _ in admitted]
+        )
+        for order_index, ((query, _processed, bucket_key), query_hv) in enumerate(
+            zip(admitted, query_hvs)
+        ):
             if self.query_ber > 0:
                 query_hv = flip_bits(query_hv, self.query_ber, self._noise_rng)
             prepared.setdefault(bucket_key, []).append(
                 (order_index, query, query_hv)
             )
-            order_index += 1
 
         indexed_psms: List[Tuple[int, PSM]] = []
         half_width = self._half_width()

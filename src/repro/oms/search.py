@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, List, Optional, Protocol, Sequence
 
 import numpy as np
 
+from ..hdc.encoder import SpectrumEncoder
 from ..hdc.noise import flip_bits
 from ..hdc.packing import pack_bipolar, popcount
 from ..ms.preprocessing import PreprocessingConfig, preprocess
@@ -28,6 +29,30 @@ from .psm import PSM, SearchResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..index.library import LibraryIndex
+
+#: Queries encoded per fused ``encode_batch`` call inside ``search``.
+ENCODE_BLOCK_SIZE = 256
+
+
+def encode_queries(encoder, processed: Sequence[Spectrum]) -> np.ndarray:
+    """Encode preprocessed queries into one ``(n, dim)`` int8 matrix.
+
+    The exact software :class:`~repro.hdc.encoder.SpectrumEncoder` goes
+    through its fused batch pipeline in blocks of
+    ``ENCODE_BLOCK_SIZE`` (bit-identical to per-query ``encode``, one
+    vectorized pass per block).  Other encoders — the analog in-memory
+    encoder, the MLC storage round-trip wrapper — keep their
+    per-spectrum path so their internal noise draw order is unchanged.
+    """
+    if not processed:
+        return np.empty((0, encoder.space.dim), dtype=np.int8)
+    if isinstance(encoder, SpectrumEncoder):
+        blocks = [
+            encoder.encode_batch(processed[start : start + ENCODE_BLOCK_SIZE])
+            for start in range(0, len(processed), ENCODE_BLOCK_SIZE)
+        ]
+        return blocks[0] if len(blocks) == 1 else np.concatenate(blocks, axis=0)
+    return np.stack([encoder.encode(spectrum) for spectrum in processed])
 
 
 class SimilarityBackend(Protocol):
@@ -58,8 +83,15 @@ class DenseBackend:
     def scores(self, query_hv: np.ndarray, positions: np.ndarray) -> np.ndarray:
         if self._refs is None:
             raise RuntimeError("backend not prepared")
-        subset = self._refs[positions]
-        return (subset @ query_hv.astype(np.float32)).astype(np.int32)
+        query = query_hv.astype(np.float32)
+        if len(positions) == self._refs.shape[0]:
+            # The window covers every stored row (the common wide-window
+            # open-search case): score the prepared matrix directly and
+            # reorder the (n,) score vector, skipping the (n, dim)
+            # fancy-index gather copy.  Exact for any positions order —
+            # (refs @ q)[positions][i] == refs[positions[i]] @ q.
+            return (self._refs @ query).astype(np.int32)[positions]
+        return (self._refs[positions] @ query).astype(np.int32)
 
 
 class PackedBackend:
@@ -235,12 +267,10 @@ class HDOmsSearcher:
             mode=mode,
         )
 
-    def search_one(self, query: Spectrum) -> Optional[PSM]:
-        """Search a single query; None when preprocessing/candidates fail."""
-        processed = preprocess(query, self.preprocessing)
-        if processed is None:
-            return None
-        query_hv = self.encoder.encode(processed)
+    def _search_encoded(
+        self, query: Spectrum, query_hv: np.ndarray
+    ) -> Optional[PSM]:
+        """Noise injection + windowed scoring for one encoded query."""
         if self.config.query_ber > 0:
             query_hv = flip_bits(query_hv, self.config.query_ber, self._noise_rng)
         if self.config.mode == "cascade":
@@ -255,17 +285,48 @@ class HDOmsSearcher:
         mode = self.config.mode
         return self._best_psm(query, query_hv, self._candidates(query, mode), mode)
 
+    def search_one(self, query: Spectrum) -> Optional[PSM]:
+        """Search a single query; None when preprocessing/candidates fail."""
+        processed = preprocess(query, self.preprocessing)
+        if processed is None:
+            return None
+        return self._search_encoded(query, self.encoder.encode(processed))
+
     def search(self, queries: Sequence[Spectrum]) -> SearchResult:
-        """Search all queries, returning one best PSM per matched query."""
+        """Search all queries, returning one best PSM per matched query.
+
+        Queries are encoded in fused blocks (see :func:`encode_queries`)
+        instead of one at a time inside the scoring loop; BER injection
+        and scoring then run per query in arrival order, so results are
+        bit-identical to repeated :meth:`search_one` calls.
+        """
         start = time.perf_counter()
         psms: List[PSM] = []
         unmatched = 0
-        for query in queries:
-            psm = self.search_one(query)
-            if psm is None:
-                unmatched += 1
-            else:
-                psms.append(psm)
+        # Preprocess, encode, and score one block at a time: the fused
+        # encode keeps its batch win while extra memory stays
+        # O(ENCODE_BLOCK_SIZE * dim) — the streaming behaviour of the
+        # old per-query loop, not a whole-workload hypervector matrix.
+        position = 0
+        while position < len(queries):
+            block: List[tuple] = []
+            while position < len(queries) and len(block) < ENCODE_BLOCK_SIZE:
+                query = queries[position]
+                position += 1
+                processed = preprocess(query, self.preprocessing)
+                if processed is None:
+                    unmatched += 1
+                else:
+                    block.append((query, processed))
+            query_hvs = encode_queries(
+                self.encoder, [processed for _, processed in block]
+            )
+            for (query, _processed), query_hv in zip(block, query_hvs):
+                psm = self._search_encoded(query, query_hv)
+                if psm is None:
+                    unmatched += 1
+                else:
+                    psms.append(psm)
         elapsed = time.perf_counter() - start
         return SearchResult(
             psms=psms,

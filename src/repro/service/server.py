@@ -5,7 +5,11 @@
 searcher behind a :class:`~repro.service.scheduler.MicroBatchScheduler`
 (single-spectrum requests coalesce into batch searches), and fronts
 everything with a :class:`~repro.service.cache.ResultCache` keyed by
-spectrum content digest + configuration fingerprint.  Results are
+spectrum content digest + configuration fingerprint.  Every flushed
+micro-batch reaches the engine as one ``search`` call, so the whole
+batch is *encoded* through the fused vectorized
+``SpectrumEncoder.encode_batch`` pipeline and *scored* as dense
+matmuls — the micro-batching win compounds through both stages.  Results are
 bit-identical to a direct :class:`~repro.oms.search.HDOmsSearcher` run
 on the same index and configuration, whatever order or batch the
 requests arrive in.

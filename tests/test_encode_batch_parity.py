@@ -1,0 +1,314 @@
+"""Scalar-vs-fused encode parity: the fused batch pipeline must be
+bit-identical to per-spectrum encoding for every input shape.
+
+The fused path (:meth:`SpectrumEncoder.accumulate_batch` /
+:meth:`SpectrumEncoder.encode_batch`) concatenates all peaks, gathers
+codebook rows with fancy indexing, and segment-sums per spectrum; the
+scalar path walks one spectrum at a time.  Both are pure integer
+arithmetic, so equality is exact — any mismatch is a bug, not noise.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdc.encoder import SpectrumEncoder
+from repro.hdc.spaces import HDSpace, HDSpaceConfig
+from repro.ms.preprocessing import preprocess
+from repro.ms.spectrum import Spectrum
+from repro.ms.synthetic import WorkloadConfig, build_workload
+from repro.ms.vectorize import BinningConfig, SparseVector, vectorize
+
+BINNING = BinningConfig(min_mz=100.0, max_mz=600.0, bin_width=1.0005)
+
+
+def make_encoder(
+    dim=256, num_levels=8, id_precision_bits=3, chunked=True, seed=23
+):
+    space = HDSpace(
+        HDSpaceConfig(
+            dim=dim,
+            num_bins=BINNING.num_bins,
+            num_levels=num_levels,
+            id_precision_bits=id_precision_bits,
+            chunked=chunked,
+            seed=seed,
+        )
+    )
+    return SpectrumEncoder(space, BINNING)
+
+
+def empty_vector():
+    return SparseVector(
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.float64),
+        BINNING.num_bins,
+    )
+
+
+def random_vector(rng, max_peaks=64):
+    num_peaks = int(rng.integers(1, max_peaks + 1))
+    indices = np.sort(
+        rng.choice(BINNING.num_bins, size=num_peaks, replace=False)
+    ).astype(np.int64)
+    values = rng.gamma(2.0, 50.0, size=num_peaks)
+    return SparseVector(indices, values, BINNING.num_bins)
+
+
+class TestEncodeBatchParity:
+    @given(
+        seed=st.integers(0, 2**16),
+        batch=st.integers(1, 24),
+        precision=st.sampled_from([1, 2, 3]),
+        chunked=st.booleans(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_random_spectra_bit_identical(
+        self, seed, batch, precision, chunked
+    ):
+        """Property: fused == scalar for random sparse vectors."""
+        encoder = make_encoder(
+            id_precision_bits=precision, chunked=chunked, seed=seed % 7
+        )
+        rng = np.random.default_rng(seed)
+        vectors = [random_vector(rng) for _ in range(batch)]
+        fused = encoder.encode_batch(vectors)
+        assert fused.dtype == np.int8
+        for row, vector in enumerate(vectors):
+            assert np.array_equal(fused[row], encoder.encode_vector(vector))
+
+    @given(seed=st.integers(0, 2**16), batch=st.integers(1, 16))
+    @settings(max_examples=20, deadline=None)
+    def test_accumulate_batch_matches_scalar_accumulate(self, seed, batch):
+        encoder = make_encoder(seed=seed % 5)
+        rng = np.random.default_rng(seed)
+        vectors = [random_vector(rng) for _ in range(batch)]
+        accumulators = encoder.accumulate_batch(vectors)
+        assert accumulators.dtype == np.int32
+        for row, vector in enumerate(vectors):
+            assert np.array_equal(
+                accumulators[row], encoder.accumulate(vector)
+            )
+
+    def test_empty_sparse_vector_rows_take_tiebreak(self):
+        encoder = make_encoder()
+        rng = np.random.default_rng(3)
+        vectors = [
+            empty_vector(),
+            random_vector(rng),
+            empty_vector(),
+            random_vector(rng),
+            empty_vector(),
+        ]
+        fused = encoder.encode_batch(vectors)
+        for row in (0, 2, 4):
+            assert np.array_equal(fused[row], encoder.space.tiebreak)
+        for row in (1, 3):
+            assert np.array_equal(
+                fused[row], encoder.encode_vector(vectors[row])
+            )
+
+    def test_all_empty_batch(self):
+        encoder = make_encoder()
+        fused = encoder.encode_batch([empty_vector(), empty_vector()])
+        assert np.array_equal(
+            fused, np.broadcast_to(encoder.space.tiebreak, fused.shape)
+        )
+
+    def test_zero_length_batch(self):
+        encoder = make_encoder()
+        fused = encoder.encode_batch([])
+        assert fused.shape == (0, encoder.space.dim)
+        assert fused.dtype == np.int8
+
+    def test_single_peak_spectra(self):
+        encoder = make_encoder()
+        vectors = [
+            SparseVector(
+                np.array([bin_index], dtype=np.int64),
+                np.array([42.0]),
+                BINNING.num_bins,
+            )
+            for bin_index in (0, 7, BINNING.num_bins - 1)
+        ]
+        fused = encoder.encode_batch(vectors)
+        for row, vector in enumerate(vectors):
+            assert np.array_equal(fused[row], encoder.encode_vector(vector))
+
+    def test_forced_zero_accumulator_tiebreak(self):
+        """Two 1-bit-ID peaks cancel in ~half the dimensions, forcing
+        the tiebreak path; fused and scalar must resolve identically."""
+        encoder = make_encoder(id_precision_bits=1, num_levels=2, seed=5)
+        vector = SparseVector(
+            np.array([10, 11], dtype=np.int64),
+            np.array([5.0, 5.0]),
+            BINNING.num_bins,
+        )
+        accumulator = encoder.accumulate(vector)
+        assert (accumulator == 0).any(), "fixture must exercise the tiebreak"
+        fused = encoder.encode_batch([vector])
+        assert np.array_equal(fused[0], encoder.encode_vector(vector))
+        zero = accumulator == 0
+        assert np.array_equal(fused[0][zero], encoder.space.tiebreak[zero])
+
+    def test_mixed_spectrum_and_sparse_vector_input(self):
+        encoder = make_encoder()
+        workload = build_workload(
+            WorkloadConfig(
+                name="parity", num_references=6, num_queries=0, seed=4
+            )
+        )
+        spectra = [preprocess(s) for s in workload.references]
+        spectra = [s for s in spectra if s is not None]
+        mixed = [
+            spectra[0],
+            vectorize(spectra[1], BINNING),
+            empty_vector(),
+            spectra[2],
+        ]
+        fused = encoder.encode_batch(mixed)
+        assert np.array_equal(fused[0], encoder.encode(spectra[0]))
+        assert np.array_equal(
+            fused[1], encoder.encode_vector(vectorize(spectra[1], BINNING))
+        )
+        assert np.array_equal(fused[2], encoder.space.tiebreak)
+        assert np.array_equal(fused[3], encoder.encode(spectra[2]))
+
+    def test_zero_intensity_spectrum_quantises_to_level_zero(self):
+        """A spectrum whose max intensity is 0 hits the scale<=0 branch."""
+        encoder = make_encoder()
+        vector = SparseVector(
+            np.array([3, 9], dtype=np.int64),
+            np.array([0.0, 0.0]),
+            BINNING.num_bins,
+        )
+        fused = encoder.encode_batch([vector, random_vector(np.random.default_rng(1))])
+        assert np.array_equal(fused[0], encoder.encode_vector(vector))
+
+    def test_large_spectrum_spans_block_cap(self):
+        """One spectrum bigger than the flat-peak block cap still works."""
+        from repro.hdc import encoder as encoder_module
+
+        encoder = make_encoder()
+        rng = np.random.default_rng(8)
+        big = random_vector(rng, max_peaks=BINNING.num_bins - 1)
+        small = random_vector(rng, max_peaks=8)
+        original_cap = encoder_module._MAX_FLAT_PEAKS
+        encoder_module._MAX_FLAT_PEAKS = 16
+        try:
+            fused = encoder.encode_batch([small, big, small, big])
+        finally:
+            encoder_module._MAX_FLAT_PEAKS = original_cap
+        for row, vector in enumerate([small, big, small, big]):
+            assert np.array_equal(fused[row], encoder.encode_vector(vector))
+
+    def test_out_of_range_bin_raises(self):
+        encoder = make_encoder()
+        bad = SparseVector(
+            np.array([BINNING.num_bins], dtype=np.int64),
+            np.array([1.0]),
+            BINNING.num_bins,
+        )
+        with pytest.raises(IndexError):
+            encoder.encode_batch([bad])
+        negative = SparseVector(
+            np.array([-1], dtype=np.int64), np.array([1.0]), BINNING.num_bins
+        )
+        with pytest.raises(IndexError):
+            encoder.encode_batch([negative])
+
+
+class TestIdBank:
+    def test_bank_matches_lazy_rows(self):
+        space = HDSpace(
+            HDSpaceConfig(dim=128, num_bins=40, num_levels=4, seed=13)
+        )
+        # Touch a few rows first so the bank has to reuse cached rows.
+        lazy = {b: space.id_vector(b).copy() for b in (0, 7, 39)}
+        bank = space.id_bank()
+        assert bank.shape == (40, 128)
+        assert bank.dtype == np.int8
+        for b, row in lazy.items():
+            assert np.array_equal(bank[b], row)
+        # Rows never touched lazily must match fresh generation too.
+        fresh = HDSpace(space.config)
+        for b in (3, 20, 38):
+            assert np.array_equal(bank[b], fresh.id_vector(b))
+
+    def test_bank_is_read_only_and_cached(self):
+        space = HDSpace(
+            HDSpaceConfig(dim=64, num_bins=10, num_levels=4, seed=1)
+        )
+        bank = space.id_bank()
+        assert bank is space.id_bank()
+        with pytest.raises(ValueError):
+            bank[0, 0] = 3
+        # id_vector served from the bank stays read-only and cached.
+        vector = space.id_vector(4)
+        assert vector is space.id_vector(4)
+        with pytest.raises(ValueError):
+            vector[0] = 3
+
+    def test_id_matrix_accepts_ndarray_and_list(self):
+        space = HDSpace(
+            HDSpaceConfig(dim=64, num_bins=12, num_levels=4, seed=2)
+        )
+        from_list = space.id_matrix([1, 5, 5, 0])
+        from_array = space.id_matrix(np.array([1, 5, 5, 0], dtype=np.int64))
+        assert np.array_equal(from_list, from_array)
+        for row, b in enumerate((1, 5, 5, 0)):
+            assert np.array_equal(from_list[row], space.id_vector(b))
+
+    def test_id_matrix_bounds(self):
+        space = HDSpace(
+            HDSpaceConfig(dim=64, num_bins=12, num_levels=4, seed=2)
+        )
+        with pytest.raises(IndexError):
+            space.id_matrix(np.array([12]))
+        with pytest.raises(IndexError):
+            space.id_matrix([-1])
+        assert space.id_matrix(np.empty(0, dtype=np.int64)).shape == (0, 64)
+
+
+class TestSearcherEncodingParity:
+    def test_search_matches_search_one(self):
+        """The block-encoding search loop is bit-identical to per-query
+        search_one calls, including BER injection draw order."""
+        from repro.oms.candidates import WindowConfig
+        from repro.oms.search import HDOmsSearcher, HDSearchConfig
+
+        workload = build_workload(
+            WorkloadConfig(
+                name="parity-search",
+                num_references=40,
+                num_queries=12,
+                seed=6,
+            )
+        )
+        binning = BinningConfig()
+        space = HDSpace(
+            HDSpaceConfig(
+                dim=512, num_bins=binning.num_bins, num_levels=8, seed=3
+            )
+        )
+        encoder = SpectrumEncoder(space, binning)
+        for mode in ("open", "standard", "cascade"):
+            config = HDSearchConfig(mode=mode, query_ber=0.01, noise_seed=77)
+            blocked = HDOmsSearcher(
+                encoder,
+                workload.references,
+                windows=WindowConfig(),
+                config=config,
+            ).search(workload.queries)
+            one_by_one = HDOmsSearcher(
+                encoder,
+                workload.references,
+                windows=WindowConfig(),
+                config=config,
+            )
+            expected = [
+                one_by_one.search_one(query) for query in workload.queries
+            ]
+            expected = [psm for psm in expected if psm is not None]
+            assert blocked.psms == expected, mode

@@ -27,6 +27,25 @@ class TestBitPacking:
         assert popcount(np.array([255], dtype=np.uint8))[()] == 8
         assert popcount(np.array([0b1010_0110], dtype=np.uint8))[()] == 4
 
+    def test_popcount_paths_agree(self, rng):
+        """The native np.bitwise_count path and the LUT fallback are
+        bit-identical (dtype included) on every byte value and shape."""
+        from repro.hdc.packing import _popcount_lut
+
+        every_byte = np.arange(256, dtype=np.uint8)
+        assert np.array_equal(popcount(every_byte), _popcount_lut(every_byte))
+        words = rng.integers(0, 256, size=(7, 33), dtype=np.uint8)
+        fast = popcount(words)
+        lut = _popcount_lut(words)
+        assert fast.dtype == np.int64
+        assert lut.dtype == np.int64
+        assert np.array_equal(fast, lut)
+        if hasattr(np, "bitwise_count"):
+            # On NumPy >= 2.0 the active path really is the native ufunc.
+            assert np.array_equal(
+                np.bitwise_count(words).astype(np.int64), lut
+            )
+
     def test_pack_unpack_roundtrip(self, rng):
         for dim in (8, 64, 100, 513):
             vectors = (rng.integers(0, 2, (4, dim)) * 2 - 1).astype(np.int8)
