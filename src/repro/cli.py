@@ -162,10 +162,24 @@ def _add_index_parser(subparsers) -> None:
 def _add_serve_parser(subparsers) -> None:
     parser = subparsers.add_parser(
         "serve",
-        help="online search service over a persisted index (HTTP JSON API)",
+        help="online search service over persisted indexes (HTTP JSON API)",
     )
     parser.add_argument(
-        "--index", type=Path, required=True, dest="index_path", help=".npz index"
+        "--index",
+        action="append",
+        required=True,
+        dest="indexes",
+        metavar="[NAME=]PATH",
+        help=(
+            ".npz index to serve; repeat to front several libraries "
+            "as NAME=PATH routes (a single bare PATH is served as the "
+            "'default' route)"
+        ),
+    )
+    parser.add_argument(
+        "--default-route",
+        default=None,
+        help="route answering requests that name none (default: first --index)",
     )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8337)
@@ -573,6 +587,51 @@ def _cmd_index_search(args) -> int:
     return 0
 
 
+def _split_index_entry(entry: str):
+    """``NAME=PATH`` -> (name, path); anything else -> (None, entry).
+
+    An entry counts as named only when the prefix before the first
+    ``=`` is a legal route name, so a bare path that happens to contain
+    ``=`` (``./results=final/lib.npz``) keeps working as a path.  When
+    the prefix *is* route-shaped (``v2=run/lib.npz``) the NAME=PATH
+    reading wins — name the route explicitly to serve such a path.
+    """
+    from .service import ROUTE_PATTERN
+
+    name, sep, path = entry.partition("=")
+    if sep and ROUTE_PATTERN.match(name):
+        return name, path
+    return None, entry
+
+
+def _parse_index_routes(entries) -> dict:
+    """Parse repeated ``--index [NAME=]PATH`` flags into route->path.
+
+    A lone bare path keeps the original single-index behaviour (served
+    as the ``default`` route); mixing several indexes requires every
+    entry to be named so routes stay unambiguous.
+    """
+    from .service import DEFAULT_ROUTE
+
+    split = [(entry, *_split_index_entry(entry)) for entry in entries]
+    bare = [entry for entry, name, _path in split if name is None]
+    if bare and len(entries) > 1:
+        raise ValueError(
+            f"with multiple --index flags every entry needs a route name "
+            f"(NAME=PATH); got bare path(s) {bare}"
+        )
+    routes = {}
+    for entry, name, path in split:
+        if name is None:
+            name = DEFAULT_ROUTE
+        if not path:
+            raise ValueError(f"--index {entry!r} has an empty path")
+        if name in routes:
+            raise ValueError(f"duplicate route name {name!r} in --index flags")
+        routes[name] = Path(path)
+    return routes
+
+
 def cmd_serve(args) -> int:
     from .constants import DEFAULT_STANDARD_WINDOW_DA
     from .service import ServiceConfig, serve
@@ -582,6 +641,7 @@ def cmd_serve(args) -> int:
     # unreadable index files are usage errors, not crashes; failures
     # after startup keep their tracebacks.
     try:
+        routes = _parse_index_routes(args.indexes)
         config = ServiceConfig(
             max_batch=args.max_batch,
             max_wait_ms=args.max_wait_ms,
@@ -599,11 +659,12 @@ def cmd_serve(args) -> int:
         return 2
     try:
         return serve(
-            args.index_path,
+            routes,
             host=args.host,
             port=args.port,
             config=config,
             quiet=not args.verbose,
+            default_route=args.default_route,
         )
     except ServiceStartupError as error:
         print(f"serve: {error}", file=sys.stderr)

@@ -11,12 +11,19 @@ concurrent clients over a stdlib HTTP JSON API:
   batch searches (flush on ``max_batch`` or ``max_wait_ms``);
 * :class:`~repro.service.cache.ResultCache` — LRU result cache keyed
   by spectrum content digest + configuration fingerprint;
+* :class:`~repro.service.registry.IndexRegistry` — multi-index
+  routing: several loaded libraries behind one server, each route with
+  its own cache and scheduler, hot add/swap/remove per route;
+* :class:`~repro.service.metrics.ServiceMetrics` — lock-safe
+  Prometheus text export (per-route request counters, cache hit/miss,
+  micro-batch and latency histograms) behind ``/metrics``;
 * :class:`~repro.service.server.SearchService` /
   :class:`~repro.service.server.SearchServer` — the engine room and
   its ``ThreadingHTTPServer`` front (``/search``, ``/search_batch``,
-  ``/healthz``, ``/stats``, ``/reload``);
+  ``/healthz``, ``/stats``, ``/metrics``, ``/reload``);
 * :class:`~repro.service.client.SearchClient` — a thin ``urllib``
-  client returning first-class :class:`~repro.oms.psm.PSM` objects.
+  client returning first-class :class:`~repro.oms.psm.PSM` objects,
+  with per-client or per-call route selection.
 
 Responses are bit-identical to a direct
 :class:`~repro.oms.search.HDOmsSearcher` run on the same index and
@@ -26,13 +33,24 @@ composition.
 
 from .cache import MISSING, ResultCache
 from .client import SearchClient, ServiceError
+from .metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    RouteMetrics,
+    ServiceMetrics,
+)
 from .protocol import (
     ProtocolError,
+    ROUTE_PATTERN,
     config_fingerprint,
+    route_from_payload,
     spectrum_digest,
     spectrum_from_payload,
     spectrum_to_payload,
+    validate_route_name,
 )
+from .registry import DEFAULT_ROUTE, IndexRegistry, UnknownRouteError
 from .scheduler import MicroBatchScheduler, SchedulerStats
 from .server import (
     SearchRequestHandler,
@@ -49,11 +67,22 @@ __all__ = [
     "ResultCache",
     "SearchClient",
     "ServiceError",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "RouteMetrics",
+    "ServiceMetrics",
     "ProtocolError",
+    "ROUTE_PATTERN",
     "config_fingerprint",
+    "route_from_payload",
     "spectrum_digest",
     "spectrum_from_payload",
     "spectrum_to_payload",
+    "validate_route_name",
+    "DEFAULT_ROUTE",
+    "IndexRegistry",
+    "UnknownRouteError",
     "MicroBatchScheduler",
     "SchedulerStats",
     "SearchRequestHandler",

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Dict, Hashable, Optional
+from typing import Callable, Dict, Hashable, Optional
 
 #: Sentinel distinguishing "key absent" from a cached ``None`` result.
 MISSING = object()
@@ -28,32 +28,51 @@ class ResultCache:
     ``capacity=0`` disables storage entirely (every lookup misses, puts
     are dropped) while keeping the stats counters alive, so a service
     can run cache-less without branching at every call site.
+
+    ``observer``, when given, is called with ``"hit"`` / ``"miss"`` /
+    ``"eviction"`` once per event, *outside* the cache lock (so an
+    observer taking its own lock — the metrics counters do — cannot
+    create a lock-ordering cycle with callers of the cache).
     """
 
-    def __init__(self, capacity: int = 1024) -> None:
+    def __init__(
+        self,
+        capacity: int = 1024,
+        observer: Optional[Callable[[str], None]] = None,
+    ) -> None:
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
         self.capacity = capacity
+        self.observer = observer
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
 
+    def _notify(self, event: str, count: int = 1) -> None:
+        if self.observer is not None:
+            for _ in range(count):
+                self.observer(event)
+
     def get(self, key: Hashable) -> object:
         """The cached value, or :data:`MISSING`; refreshes LRU order."""
         with self._lock:
             if key not in self._entries:
                 self._misses += 1
-                return MISSING
-            self._entries.move_to_end(key)
-            self._hits += 1
-            return self._entries[key]
+                value = MISSING
+            else:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                value = self._entries[key]
+        self._notify("miss" if value is MISSING else "hit")
+        return value
 
     def put(self, key: Hashable, value: object) -> None:
         """Store ``value`` (may be ``None``), evicting the LRU entry."""
         if self.capacity == 0:
             return
+        evicted = 0
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
@@ -61,6 +80,8 @@ class ResultCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+                evicted += 1
+        self._notify("eviction", evicted)
 
     def clear(self) -> None:
         """Drop every entry (stats counters are kept)."""

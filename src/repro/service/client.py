@@ -9,6 +9,13 @@ a local :class:`~repro.oms.search.HDOmsSearcher`::
     client = SearchClient("http://127.0.0.1:8337")
     psm = client.search(spectrum)           # Optional[PSM]
     psms = client.search_batch(spectra)     # aligned List[Optional[PSM]]
+
+Against a multi-index server, requests can target one of the loaded
+libraries per call or bind a default for the whole client::
+
+    yeast = SearchClient("http://127.0.0.1:8337", route="yeast")
+    psm = yeast.search(spectrum)                  # always the yeast route
+    psm = client.search(spectrum, route="human")  # per-call override
 """
 
 from __future__ import annotations
@@ -37,17 +44,38 @@ class ServiceError(RuntimeError):
 
 
 class SearchClient:
-    """Blocking JSON client for one search service endpoint."""
+    """Blocking JSON client for one search service endpoint.
 
-    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+    ``route`` (optional) names the library every request of this client
+    targets; ``None`` lets the server pick its default route.  Each
+    search method also takes a per-call ``route`` override.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 60.0,
+        route: Optional[str] = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.route = route
+
+    def for_route(self, route: Optional[str]) -> "SearchClient":
+        """A sibling client bound to ``route`` (same URL and timeout)."""
+        return SearchClient(self.base_url, timeout=self.timeout, route=route)
 
     # ------------------------------------------------------------------
     # transport
     # ------------------------------------------------------------------
 
-    def _request(self, method: str, path: str, payload: Optional[dict] = None):
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        parse_json: bool = True,
+    ):
         body = None
         headers = {"Accept": "application/json"}
         if payload is not None:
@@ -58,7 +86,8 @@ class SearchClient:
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
+                text = response.read().decode("utf-8")
+                return json.loads(text) if parse_json else text
         except urllib.error.HTTPError as error:
             detail = ""
             try:
@@ -75,42 +104,81 @@ class SearchClient:
                 f"cannot reach {self.base_url}: {error.reason}"
             ) from None
 
+    def _resolve_route(self, route: Optional[str]) -> Optional[str]:
+        return route if route is not None else self.route
+
     # ------------------------------------------------------------------
     # API
     # ------------------------------------------------------------------
 
-    def search(self, spectrum: Spectrum) -> Optional[PSM]:
+    def search(
+        self, spectrum: Spectrum, route: Optional[str] = None
+    ) -> Optional[PSM]:
         """Search one spectrum; None when the service found no match."""
-        payload = self.search_detailed(spectrum).get("psm")
+        payload = self.search_detailed(spectrum, route=route).get("psm")
         return PSM.from_dict(payload) if payload is not None else None
 
-    def search_detailed(self, spectrum: Spectrum) -> dict:
+    def search_detailed(
+        self, spectrum: Spectrum, route: Optional[str] = None
+    ) -> dict:
         """The raw ``/search`` reply (psm payload, cached flag, timing)."""
-        return self._request(
-            "POST", "/search", {"spectrum": spectrum_to_payload(spectrum)}
-        )
+        body = {"spectrum": spectrum_to_payload(spectrum)}
+        resolved = self._resolve_route(route)
+        if resolved is not None:
+            body["route"] = resolved
+        return self._request("POST", "/search", body)
 
-    def search_batch(self, spectra: Sequence[Spectrum]) -> List[Optional[PSM]]:
+    def search_batch(
+        self, spectra: Sequence[Spectrum], route: Optional[str] = None
+    ) -> List[Optional[PSM]]:
         """Search many spectra in one round trip; result aligns to input."""
-        reply = self._request(
-            "POST",
-            "/search_batch",
-            {"spectra": [spectrum_to_payload(s) for s in spectra]},
-        )
+        body = {"spectra": [spectrum_to_payload(s) for s in spectra]}
+        resolved = self._resolve_route(route)
+        if resolved is not None:
+            body["route"] = resolved
+        reply = self._request("POST", "/search_batch", body)
         return [
             PSM.from_dict(payload) if payload is not None else None
             for payload in reply["psms"]
         ]
 
     def healthz(self) -> dict:
-        """Liveness probe payload."""
+        """Liveness probe payload (includes the per-route breakdown)."""
         return self._request("GET", "/healthz")
 
     def stats(self) -> dict:
-        """Cache / scheduler / latency counters."""
+        """Cache / scheduler / latency counters, overall and per route."""
         return self._request("GET", "/stats")
 
-    def reload(self, index_path: Union[str, Path, None] = None) -> dict:
-        """Hot-swap the service's index (optionally from a new path)."""
-        payload = {"index": str(index_path)} if index_path is not None else {}
+    def metrics(self) -> str:
+        """The raw Prometheus text payload of ``/metrics``."""
+        return self._request("GET", "/metrics", parse_json=False)
+
+    def reload(
+        self,
+        index_path: Union[str, Path, None] = None,
+        route: Optional[str] = None,
+        remove: bool = False,
+    ) -> dict:
+        """Hot-swap, add, or remove one route without draining others.
+
+        * no arguments — reload the client's (or server's default)
+          route in place from its original path;
+        * ``index_path`` — swap that route's index from a new file, or
+          **add** a brand-new route when ``route`` names one the server
+          does not serve yet;
+        * ``remove=True`` — detach ``route`` and close it gracefully.
+        """
+        if remove and index_path is not None:
+            # Mirror the server's 400 instead of silently dropping the
+            # path and removing the route anyway.
+            raise ValueError("remove=True and index_path are mutually exclusive")
+        payload: dict = {}
+        resolved = self._resolve_route(route)
+        if resolved is not None:
+            payload["route"] = resolved
+        if remove:
+            payload["remove"] = True
+        elif index_path is not None:
+            payload["index"] = str(index_path)
         return self._request("POST", "/reload", payload)

@@ -1,0 +1,382 @@
+"""Lock-safe Prometheus-style metrics for the search service.
+
+The service's ``/stats`` endpoint returns a JSON snapshot built from
+per-subsystem counters; that is fine for humans but useless for a
+scraper, which needs monotonic counters and bucketed histograms in the
+`Prometheus text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_.  This
+module provides the three pieces the service needs and nothing more:
+
+* :class:`Counter` and :class:`Histogram` — labelled metric families,
+  each guarded by its own lock (they are leaf locks: no metric ever
+  calls back into service code, so they cannot participate in a lock
+  cycle);
+* :class:`MetricsRegistry` — owns the families and renders the full
+  ``/metrics`` payload;
+* :class:`ServiceMetrics` / :class:`RouteMetrics` — the concrete
+  instrumentation schema of the search service (per-route request
+  counters, cache hit/miss, micro-batch size and wait histograms,
+  request latency histograms), with :meth:`ServiceMetrics.for_route`
+  handing each route a pre-bound view so hot-path call sites never
+  build label dicts.
+
+Everything here is stdlib-only and dependency-free on purpose: the
+service must export metrics without requiring ``prometheus_client``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+_NAME_PATTERN = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_PATTERN = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default latency-style buckets (seconds), Prometheus' classic ladder.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+#: Buckets for micro-batch sizes (spectra per flush).
+BATCH_SIZE_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value: integers without a trailing ``.0``."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(labelnames: Sequence[str], labelvalues: Sequence[str]) -> str:
+    if not labelnames:
+        return ""
+    parts = ",".join(
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(labelnames, labelvalues)
+    )
+    return "{" + parts + "}"
+
+
+class _Metric:
+    """Shared plumbing of one labelled metric family."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()):
+        if not _NAME_PATTERN.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_PATTERN.match(label) or label.startswith("__"):
+                raise ValueError(f"invalid label name {label!r}")
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+
+    def _key(self, labels: Dict[str, str]) -> Tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name} expects labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _header(self) -> List[str]:
+        return [
+            f"# HELP {self.name} {_escape_help(self.help)}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+
+    def render(self) -> List[str]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """Monotonically increasing labelled counter."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()):
+        super().__init__(name, help, labelnames)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def render(self) -> List[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        lines = self._header()
+        for key, value in items:
+            labels = _render_labels(self.labelnames, key)
+            lines.append(f"{self.name}{labels} {_format_value(value)}")
+        return lines
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    ``observe`` is O(number of buckets) under a plain lock — cheap
+    enough for a per-request hot path with a dozen buckets.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+    ):
+        super().__init__(name, help, labelnames)
+        buckets = tuple(float(b) for b in buckets)
+        if not buckets:
+            raise ValueError("histogram needs at least one bucket")
+        if list(buckets) != sorted(set(buckets)):
+            raise ValueError(f"buckets must be strictly increasing: {buckets}")
+        if any(math.isinf(b) for b in buckets):
+            raise ValueError("+Inf bucket is implicit; do not pass it")
+        self.buckets = buckets
+        # Per labelset: [per-bucket counts..., overflow count], sum.
+        self._counts: Dict[Tuple[str, ...], List[int]] = {}
+        self._sums: Dict[Tuple[str, ...], float] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = self._key(labels)
+        value = float(value)
+        with self._lock:
+            counts = self._counts.get(key)
+            if counts is None:
+                counts = [0] * (len(self.buckets) + 1)
+                self._counts[key] = counts
+                self._sums[key] = 0.0
+            slot = len(self.buckets)
+            for position, bound in enumerate(self.buckets):
+                if value <= bound:
+                    slot = position
+                    break
+            counts[slot] += 1
+            self._sums[key] += value
+
+    def snapshot(self, **labels: str) -> Dict[str, float]:
+        """``{count, sum}`` for one labelset (absent -> zeros)."""
+        key = self._key(labels)
+        with self._lock:
+            counts = self._counts.get(key)
+            if counts is None:
+                return {"count": 0, "sum": 0.0}
+            return {"count": sum(counts), "sum": self._sums[key]}
+
+    def render(self) -> List[str]:
+        with self._lock:
+            items = sorted(
+                (key, list(counts), self._sums[key])
+                for key, counts in self._counts.items()
+            )
+        lines = self._header()
+        bucket_labelnames = self.labelnames + ("le",)
+        for key, counts, total in items:
+            cumulative = 0
+            for bound, count in zip(self.buckets, counts):
+                cumulative += count
+                labels = _render_labels(
+                    bucket_labelnames, key + (_format_bound(bound),)
+                )
+                lines.append(
+                    f"{self.name}_bucket{labels} {_format_value(cumulative)}"
+                )
+            cumulative += counts[-1]
+            labels = _render_labels(bucket_labelnames, key + ("+Inf",))
+            lines.append(
+                f"{self.name}_bucket{labels} {_format_value(cumulative)}"
+            )
+            plain = _render_labels(self.labelnames, key)
+            lines.append(f"{self.name}_sum{plain} {repr(float(total))}")
+            lines.append(
+                f"{self.name}_count{plain} {_format_value(cumulative)}"
+            )
+        return lines
+
+
+def _format_bound(bound: float) -> str:
+    """``le`` label value: trim integral bounds to Prometheus style."""
+    if float(bound).is_integer():
+        return f"{bound:.1f}"
+    return repr(float(bound))
+
+
+class MetricsRegistry:
+    """Ordered collection of metric families behind one ``render()``."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: List[_Metric] = []
+
+    def register(self, metric: _Metric) -> _Metric:
+        with self._lock:
+            if any(m.name == metric.name for m in self._metrics):
+                raise ValueError(f"metric {metric.name!r} already registered")
+            self._metrics.append(metric)
+        return metric
+
+    def counter(
+        self, name: str, help: str, labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self.register(Counter(name, help, labelnames))
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self.register(Histogram(name, help, labelnames, buckets))
+
+    def __iter__(self) -> Iterable[_Metric]:
+        with self._lock:
+            return iter(list(self._metrics))
+
+    def render(self) -> str:
+        """The full Prometheus text payload (trailing newline included)."""
+        with self._lock:
+            metrics = list(self._metrics)
+        lines: List[str] = []
+        for metric in metrics:
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"
+
+
+class ServiceMetrics:
+    """The search service's metric schema, shared across routes.
+
+    One instance backs one ``/metrics`` endpoint; every route of an
+    :class:`~repro.service.registry.IndexRegistry` observes into the
+    same families with its own ``route`` label, so adding or removing a
+    route never re-registers anything.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry or MetricsRegistry()
+        self.requests = self.registry.counter(
+            "hdoms_service_requests_total",
+            "Search requests received, by route and endpoint.",
+            ("route", "endpoint"),
+        )
+        self.cache_lookups = self.registry.counter(
+            "hdoms_service_cache_lookups_total",
+            "Result-cache lookups, by route and outcome (hit/miss).",
+            ("route", "outcome"),
+        )
+        self.cache_evictions = self.registry.counter(
+            "hdoms_service_cache_evictions_total",
+            "Result-cache LRU evictions, by route.",
+            ("route",),
+        )
+        self.reloads = self.registry.counter(
+            "hdoms_service_reloads_total",
+            "Index hot-swaps, by route.",
+            ("route",),
+        )
+        self.batch_flushes = self.registry.counter(
+            "hdoms_service_batch_flushes_total",
+            "Micro-batch flushes, by route and reason (full/timeout/drain).",
+            ("route", "reason"),
+        )
+        self.batch_size = self.registry.histogram(
+            "hdoms_service_batch_size_spectra",
+            "Spectra per flushed micro-batch, by route.",
+            ("route",),
+            buckets=BATCH_SIZE_BUCKETS,
+        )
+        self.batch_wait = self.registry.histogram(
+            "hdoms_service_batch_wait_seconds",
+            "Mean queue wait of a flushed micro-batch, by route.",
+            ("route",),
+        )
+        self.latency = self.registry.histogram(
+            "hdoms_service_request_latency_seconds",
+            "End-to-end request latency (cache hits included), by route.",
+            ("route",),
+        )
+
+    def for_route(self, route: str) -> "RouteMetrics":
+        return RouteMetrics(self, route)
+
+    def render(self) -> str:
+        return self.registry.render()
+
+
+class RouteMetrics:
+    """One route's pre-bound view onto :class:`ServiceMetrics`.
+
+    The methods line up with the service's observation points (see the
+    hooks in ``server.py``, ``cache.py``, ``scheduler.py``), so hot
+    paths call e.g. ``metrics.observe_request("search")`` without
+    touching label plumbing.
+    """
+
+    def __init__(self, parent: ServiceMetrics, route: str) -> None:
+        self.parent = parent
+        self.route = route
+
+    def observe_request(self, endpoint: str) -> None:
+        self.parent.requests.inc(route=self.route, endpoint=endpoint)
+
+    def observe_latency(self, seconds: float) -> None:
+        self.parent.latency.observe(seconds, route=self.route)
+
+    def observe_reload(self) -> None:
+        self.parent.reloads.inc(route=self.route)
+
+    def cache_event(self, event: str) -> None:
+        """`ResultCache` observer hook: hit / miss / eviction."""
+        if event == "eviction":
+            self.parent.cache_evictions.inc(route=self.route)
+        else:
+            self.parent.cache_lookups.inc(route=self.route, outcome=event)
+
+    def flush_event(self, size: int, reason: str, wait_seconds: float) -> None:
+        """`MicroBatchScheduler` flush observer hook."""
+        self.parent.batch_flushes.inc(route=self.route, reason=reason)
+        self.parent.batch_size.observe(size, route=self.route)
+        self.parent.batch_wait.observe(
+            wait_seconds / size if size else 0.0, route=self.route
+        )

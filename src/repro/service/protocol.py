@@ -12,7 +12,12 @@ them:
   key no matter what the client called them;
 * a **configuration fingerprint** (:func:`config_fingerprint`) mixing
   the index provenance with the search-stage knobs, so cached results
-  can never leak across indexes, windows, modes, or backends.
+  can never leak across indexes, windows, modes, or backends;
+* the **route** field of the multi-index protocol
+  (:func:`route_from_payload`, :data:`ROUTE_PATTERN`): requests may
+  name which loaded library they target, and both the server and the
+  :class:`~repro.service.registry.IndexRegistry` validate route names
+  against the same pattern.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import re
 import struct
 from typing import Optional
 
@@ -31,6 +37,39 @@ from ..ms.spectrum import Spectrum
 
 class ProtocolError(ValueError):
     """A request payload does not describe a valid spectrum."""
+
+
+#: Legal route names: metric-label safe, path-safe, no whitespace.
+ROUTE_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+#: Route name used when a single unnamed index is served.  Lives here
+#: (not in registry.py) so server.py can share it without an import
+#: cycle.
+DEFAULT_ROUTE = "default"
+
+
+def validate_route_name(route: str) -> str:
+    """Return ``route`` if it is a legal route name, else raise."""
+    if not isinstance(route, str) or not ROUTE_PATTERN.match(route):
+        raise ProtocolError(
+            f"bad route name {route!r}: expected 1-64 chars of "
+            "[A-Za-z0-9._-] starting with a letter or digit"
+        )
+    return route
+
+
+def route_from_payload(payload: object) -> Optional[str]:
+    """Extract and validate the optional ``route`` field of a request.
+
+    ``None`` (field absent or explicitly null) means "use the server's
+    default route"; anything else must be a legal route name.
+    """
+    if not isinstance(payload, dict):
+        return None
+    route = payload.get("route")
+    if route is None:
+        return None
+    return validate_route_name(route)
 
 
 def spectrum_to_payload(spectrum: Spectrum) -> dict:

@@ -22,9 +22,9 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 
 @dataclass
@@ -94,6 +94,12 @@ class MicroBatchScheduler:
     max_wait_ms:
         Flush when the oldest queued request is this old (>= 0; zero
         means every request flushes immediately, i.e. no batching).
+    flush_observer:
+        Optional ``observer(size, reason, wait_seconds)`` called once
+        per flushed batch (``wait_seconds`` is the summed queue wait of
+        the batch).  Used by the service's metrics export; observer
+        exceptions are swallowed so instrumentation can never kill the
+        flusher.
     """
 
     def __init__(
@@ -101,6 +107,7 @@ class MicroBatchScheduler:
         runner: Callable[[List[object]], Sequence[object]],
         max_batch: int = 32,
         max_wait_ms: float = 5.0,
+        flush_observer: Optional[Callable[[int, str, float], None]] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -110,7 +117,9 @@ class MicroBatchScheduler:
         self.max_batch = max_batch
         self.max_wait = max_wait_ms / 1000.0
         self.stats = SchedulerStats()
+        self._flush_observer = flush_observer
         self._queue: List[Tuple[object, Future, float]] = []
+        self._inflight: List[Tuple[object, Future, float]] = []
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._closed = False
@@ -145,24 +154,47 @@ class MicroBatchScheduler:
             self._wakeup.notify()
         return futures
 
-    def close(self, drain: bool = True) -> None:
-        """Stop the flusher (idempotent).
+    def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop the flusher (idempotent, safe to call concurrently).
 
         ``drain=True`` (the default) lets queued requests run as final
         batches before the thread exits; ``drain=False`` fails them
         with :class:`RuntimeError` instead.
+
+        ``timeout`` bounds the join: if the flusher is still alive after
+        ``timeout`` seconds (a wedged runner — e.g. a worker pool that
+        will never answer), every future still pending — queued *and*
+        in-flight — is failed with :class:`RuntimeError` so no client
+        hangs on ``result()``, and the daemon flusher thread is left to
+        die with the process.  A concurrent second ``close()`` call also
+        waits for the drain rather than returning while batches are
+        still running (callers close the engine right after, which must
+        not happen under a live flusher).
         """
+        abandoned: List[Tuple[object, Future, float]] = []
         with self._wakeup:
-            if self._closed:
-                return
-            self._closed = True
-            if not drain:
-                abandoned, self._queue = self._queue, []
-            self._wakeup.notify_all()
-        if not drain:
-            for _item, future, _t in abandoned:
-                future.set_exception(RuntimeError("scheduler closed"))
-        self._thread.join()
+            if not self._closed:
+                self._closed = True
+                if not drain:
+                    abandoned, self._queue = self._queue, []
+                self._wakeup.notify_all()
+        for _item, future, _t in abandoned:
+            _fail_future(future, RuntimeError("scheduler closed"))
+        self._thread.join(timeout)
+        if not self._thread.is_alive():
+            return
+        # Wedged runner: the drain will never finish.  Resolve every
+        # pending future with an error; _run_batch's guarded result
+        # delivery makes a late runner completion harmless.
+        with self._wakeup:
+            pending = self._queue + self._inflight
+            self._queue = []
+        error = RuntimeError(
+            "scheduler closed with a batch still in flight "
+            f"(runner did not finish within {timeout}s)"
+        )
+        for _item, future, _t in pending:
+            _fail_future(future, error)
 
     # ------------------------------------------------------------------
     # flusher side
@@ -195,19 +227,26 @@ class MicroBatchScheduler:
                     reason = "timeout"
                 batch = self._queue[: self.max_batch]
                 del self._queue[: len(batch)]
+                self._inflight = batch
             if batch:
                 # close(drain=False) can empty the queue while the
                 # flusher is mid-wait; don't run (or count) a phantom
                 # zero-size batch.
                 self._run_batch(batch, reason)
+            with self._lock:
+                self._inflight = []
 
     def _run_batch(
         self, batch: List[Tuple[object, Future, float]], reason: str
     ) -> None:
         now = time.monotonic()
-        self.stats.record_flush(
-            len(batch), reason, sum(now - entry[2] for entry in batch)
-        )
+        wait_seconds = sum(now - entry[2] for entry in batch)
+        self.stats.record_flush(len(batch), reason, wait_seconds)
+        if self._flush_observer is not None:
+            try:
+                self._flush_observer(len(batch), reason, wait_seconds)
+            except Exception:  # noqa: BLE001 - metrics must never kill us
+                pass
         try:
             results = self._runner([item for item, _future, _t in batch])
             if len(results) != len(batch):
@@ -217,7 +256,21 @@ class MicroBatchScheduler:
                 )
         except BaseException as error:  # noqa: BLE001 - forwarded to futures
             for _item, future, _t in batch:
-                future.set_exception(error)
+                _fail_future(future, error)
             return
         for (_item, future, _t), result in zip(batch, results):
-            future.set_result(result)
+            # A timed-out close() may have failed this future already;
+            # delivering into a done future would raise InvalidStateError
+            # and kill the flusher mid-batch.
+            try:
+                future.set_result(result)
+            except InvalidStateError:
+                pass
+
+
+def _fail_future(future: "Future", error: BaseException) -> None:
+    """``set_exception`` tolerating an already-resolved future."""
+    try:
+        future.set_exception(error)
+    except InvalidStateError:
+        pass

@@ -14,20 +14,29 @@ bit-identical to a direct :class:`~repro.oms.search.HDOmsSearcher` run
 on the same index and configuration, whatever order or batch the
 requests arrive in.
 
-:class:`SearchServer` / :func:`serve` wrap the service in a stdlib
-``ThreadingHTTPServer`` JSON API:
+:class:`SearchServer` / :func:`serve` wrap an
+:class:`~repro.service.registry.IndexRegistry` — one or many routes,
+each a :class:`SearchService` with its own cache and scheduler — in a
+stdlib ``ThreadingHTTPServer`` JSON API:
 
 ========================  ====  ==========================================
 ``/search``               POST  one spectrum -> one PSM (or null)
 ``/search_batch``         POST  many spectra -> aligned PSM list
-``/healthz``              GET   liveness + index summary
+``/healthz``              GET   liveness + per-route index summaries
 ``/stats``                GET   cache / scheduler / latency counters
-``/reload``               POST  hot-swap the index without dropping queue
+``/metrics``              GET   Prometheus text exposition
+``/reload``               POST  add / swap / remove one route, others
+                                keep serving undisturbed
 ========================  ====  ==========================================
 
-Shutdown is graceful: the HTTP loop stops accepting, the scheduler
-drains queued requests as final batches, and the sharded pool (when
-used) is closed with ``close()``/``join()`` rather than terminated.
+``/search`` and ``/search_batch`` accept an optional ``route`` field
+selecting which loaded library answers; an unknown route is a 404 and
+an omitted one falls back to the registry's default route.
+
+Shutdown is graceful: the HTTP loop stops accepting, each route's
+scheduler drains queued requests as final batches, and the sharded
+pools (when used) are closed with ``close()``/``join()`` rather than
+terminated.
 """
 
 from __future__ import annotations
@@ -52,9 +61,12 @@ from ..oms.candidates import WindowConfig
 from ..oms.psm import PSM
 from ..oms.search import HDSearchConfig
 from .cache import MISSING, ResultCache
+from .metrics import RouteMetrics, ServiceMetrics
 from .protocol import (
+    DEFAULT_ROUTE,
     ProtocolError,
     config_fingerprint,
+    route_from_payload,
     spectrum_digest,
     spectrum_from_payload,
 )
@@ -125,6 +137,12 @@ class ServiceConfig:
         return HDSearchConfig(mode=self.mode)
 
 
+#: How long a reload may wait for the in-flight batch before giving up
+#: (the normal wait is one batch's search; only a wedged engine ever
+#: approaches this).
+ENGINE_SWAP_TIMEOUT = 60.0
+
+
 class ServiceStartupError(RuntimeError):
     """The service could not start (bad config / unreadable index).
 
@@ -145,14 +163,27 @@ class SearchService:
     config:
         :class:`ServiceConfig`; defaults serve open-mode dense search
         with a 32-spectrum / 5 ms micro-batch window.
+    metrics:
+        Optional shared :class:`~repro.service.metrics.ServiceMetrics`.
+        When several services sit behind one
+        :class:`~repro.service.registry.IndexRegistry`, they all
+        observe into the same families under their own ``route`` label;
+        a standalone service creates a private one.
+    route:
+        The route label this service reports under (``"default"``).
     """
 
     def __init__(
         self,
         index: Union[LibraryIndex, str, Path],
         config: Optional[ServiceConfig] = None,
+        metrics: Optional[ServiceMetrics] = None,
+        route: str = DEFAULT_ROUTE,
     ) -> None:
         self.config = config or ServiceConfig()
+        self.route = route
+        self.metrics = metrics or ServiceMetrics()
+        self._route_metrics: RouteMetrics = self.metrics.for_route(route)
         if isinstance(index, (str, Path)):
             self.index_path: Optional[Path] = Path(index)
             self.index = LibraryIndex.load(self.index_path)
@@ -167,11 +198,15 @@ class SearchService:
         self._engine, self._engine_label, self._fingerprint = self._build_engine(
             self.index
         )
-        self.cache = ResultCache(self.config.cache_capacity)
+        self.cache = ResultCache(
+            self.config.cache_capacity,
+            observer=self._route_metrics.cache_event,
+        )
         self.scheduler = MicroBatchScheduler(
             self._run_batch,
             max_batch=self.config.max_batch,
             max_wait_ms=self.config.max_wait_ms,
+            flush_observer=self._route_metrics.flush_event,
         )
         self._stats_lock = threading.Lock()
         self._search_requests = 0
@@ -288,6 +323,7 @@ class SearchService:
         with self._stats_lock:
             self._latency_total += elapsed
             self._latency_count += 1
+        self._route_metrics.observe_latency(elapsed)
 
     def search_one_detailed(
         self, spectrum: Spectrum
@@ -296,6 +332,7 @@ class SearchService:
         started = time.perf_counter()
         with self._stats_lock:
             self._search_requests += 1
+        self._route_metrics.observe_request("search")
         digest, cached = self._lookup(spectrum)
         if cached is not MISSING:
             psm = cached
@@ -317,6 +354,7 @@ class SearchService:
         started = time.perf_counter()
         with self._stats_lock:
             self._batch_requests += 1
+        self._route_metrics.observe_request("search_batch")
         results: List[Optional[PSM]] = [None] * len(spectra)
         # Coalesce duplicate spectra within the request: one search per
         # unique digest, fanned back out to every position.
@@ -358,6 +396,10 @@ class SearchService:
         clearing alone would not be enough).  The old engine is closed
         gracefully.
         """
+        if self._closed:
+            # Building a replacement engine for a closed service would
+            # leak it (nothing will ever serve from or close it).
+            raise RuntimeError("service is closed")
         path = Path(index_path) if index_path is not None else self.index_path
         if path is None:
             raise ValueError(
@@ -366,22 +408,49 @@ class SearchService:
             )
         new_index = LibraryIndex.load(path)
         new_engine, new_label, new_fingerprint = self._build_engine(new_index)
-        with self._engine_lock:
+        # Bounded engine-lock acquire: the swap normally waits only for
+        # the batch in flight, but a *wedged* batch holds the lock
+        # forever — an unbounded wait here would park the /reload
+        # handler thread and hang server_close() at shutdown.
+        if not self._engine_lock.acquire(timeout=ENGINE_SWAP_TIMEOUT):
+            if hasattr(new_engine, "close"):
+                new_engine.close()
+            raise RuntimeError(
+                "reload timed out waiting for the in-flight batch "
+                f"({ENGINE_SWAP_TIMEOUT}s); is the engine wedged?"
+            )
+        try:
             # The cache clear must be atomic with the swap: a rebuilt
             # index can share the old fingerprint (provenance-equal),
             # and clearing in a later critical section would leave a
-            # window where new requests hit pre-reload entries.
+            # window where new requests hit pre-reload entries.  The
+            # closed re-check also lives under the swap lock — the same
+            # lock close() reads the engine under — so either this swap
+            # completes first (close() then closes the engine installed
+            # here) or close() won and the swap aborts; the engine can
+            # never be installed unseen into a closed service.
             with self._swap_lock:
-                old_engine = self._engine
-                self._engine = new_engine
-                self._engine_label = new_label
-                self._fingerprint = new_fingerprint
-                self._generation += 1
-                self.index = new_index
-                self.index_path = path
-                self.cache.clear()
+                if self._closed:
+                    aborted_engine = new_engine
+                else:
+                    aborted_engine = None
+                    old_engine = self._engine
+                    self._engine = new_engine
+                    self._engine_label = new_label
+                    self._fingerprint = new_fingerprint
+                    self._generation += 1
+                    self.index = new_index
+                    self.index_path = path
+                    self.cache.clear()
+        finally:
+            self._engine_lock.release()
+        if aborted_engine is not None:
+            if hasattr(aborted_engine, "close"):
+                aborted_engine.close()
+            raise RuntimeError("service is closed")
         with self._stats_lock:
             self._reloads += 1
+        self._route_metrics.observe_reload()
         if hasattr(old_engine, "close"):
             old_engine.close()
         return new_index.summary()
@@ -397,6 +466,7 @@ class SearchService:
     def healthz(self) -> Dict[str, object]:
         return {
             "status": "ok",
+            "route": self.route,
             "index": self.index.summary(),
             "num_references": self.index.num_references,
             "engine": self.engine_name,
@@ -420,6 +490,7 @@ class SearchService:
                 else None,
             }
         return {
+            "route": self.route,
             "requests": requests,
             "latency": latency,
             "cache": self.cache.stats(),
@@ -434,14 +505,33 @@ class SearchService:
             "uptime_seconds": round(time.time() - self._started, 3),
         }
 
-    def close(self) -> None:
-        """Drain the scheduler, then close the engine (idempotent)."""
-        if self._closed:
-            return
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Drain the scheduler, then close the engine (idempotent).
+
+        The order matters: the scheduler drains *first* so queued
+        requests are answered by a live engine, and only then is the
+        engine's worker pool closed.  ``timeout`` bounds the drain — a
+        wedged engine fails the still-pending futures instead of
+        hanging this call (see
+        :meth:`MicroBatchScheduler.close <repro.service.scheduler.MicroBatchScheduler.close>`).
+        """
         self._closed = True
-        self.scheduler.close(drain=True)
-        if hasattr(self._engine, "close"):
-            self._engine.close()
+        # Every step below is idempotent, so close() runs in full on
+        # every call: a concurrent second caller also waits for the
+        # drain (it must not tear down shared state under a live
+        # flusher), and a re-close after a racing reload() swapped in a
+        # fresh engine closes *that* engine instead of leaking it.  The
+        # engine read takes the *swap* lock (brief pointer swaps only —
+        # never held during a search, so a wedged batch cannot block
+        # this): a racing reload() either finishes its swap first (we
+        # then close the engine it installed) or re-checks _closed
+        # under the same lock and aborts, so the engine read here
+        # cannot be displaced afterwards.
+        self.scheduler.close(drain=True, timeout=timeout)
+        with self._swap_lock:
+            engine = self._engine
+        if hasattr(engine, "close"):
+            engine.close()
 
     def __enter__(self) -> "SearchService":
         return self
@@ -456,7 +546,11 @@ class SearchService:
 
 
 class SearchServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer carrying the service for its handlers.
+    """ThreadingHTTPServer carrying the route registry for its handlers.
+
+    Accepts either a bare :class:`SearchService` (wrapped into a
+    single-route :class:`~repro.service.registry.IndexRegistry`) or a
+    pre-built registry serving several libraries.
 
     Handler threads are non-daemon so ``server_close()`` joins them:
     responses for already-accepted requests are fully written before
@@ -475,14 +569,35 @@ class SearchServer(ThreadingHTTPServer):
     #: connection, so server_close() can join their threads.
     draining = False
 
-    def __init__(self, address, service: SearchService, quiet: bool = True):
+    def __init__(self, address, service, quiet: bool = True):
+        from .registry import IndexRegistry
+
         super().__init__(address, SearchRequestHandler)
-        self.service = service
+        if isinstance(service, SearchService):
+            self.registry = IndexRegistry.from_service(service)
+            self._implicit_registry = True
+        else:
+            self.registry = service
+            self._implicit_registry = False
         self.quiet = quiet
+
+    @property
+    def service(self) -> SearchService:
+        """The default route's service (single-route back-compat)."""
+        return self.registry.get()
 
     def shutdown(self) -> None:
         self.draining = True
         super().shutdown()
+
+    def server_close(self) -> None:
+        super().server_close()
+        if self._implicit_registry:
+            # The caller owns only the service it passed in; routes
+            # hot-added over /reload exist solely inside the registry
+            # this server created, so they are drained and closed here
+            # — otherwise their flusher threads and worker pools leak.
+            self.registry.close_added_routes(timeout=30.0)
 
 
 class _BodyTooLarge(ProtocolError):
@@ -508,8 +623,9 @@ class SearchRequestHandler(BaseHTTPRequestHandler):
 
     # -- plumbing ------------------------------------------------------
 
-    def _send_json(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode("utf-8")
+    def _send_body(
+        self, status: int, body: bytes, content_type: str
+    ) -> None:
         if status >= 400 or getattr(self.server, "draining", False):
             # Error paths may leave an unread request body on the
             # socket (e.g. a POST to an unknown path); keeping the
@@ -519,12 +635,20 @@ class SearchRequestHandler(BaseHTTPRequestHandler):
             # handler threads.
             self.close_connection = True
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         if self.close_connection:
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        self._send_body(
+            status, json.dumps(payload).encode("utf-8"), "application/json"
+        )
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        self._send_body(status, text.encode("utf-8"), content_type)
 
     def _content_length(self) -> int:
         raw = self.headers.get("Content-Length") or "0"
@@ -550,6 +674,10 @@ class SearchRequestHandler(BaseHTTPRequestHandler):
             raise ProtocolError(f"bad JSON body: {error}") from None
 
     @property
+    def registry(self):
+        return self.server.registry
+
+    @property
     def service(self) -> SearchService:
         return self.server.service
 
@@ -558,15 +686,23 @@ class SearchRequestHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         try:
             if self.path == "/healthz":
-                self._send_json(200, self.service.healthz())
+                self._send_json(200, self.registry.healthz())
             elif self.path == "/stats":
-                self._send_json(200, self.service.stats())
+                self._send_json(200, self.registry.stats())
+            elif self.path == "/metrics":
+                self._send_text(
+                    200,
+                    self.registry.render_metrics(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
             else:
                 self._send_json(404, {"error": f"unknown path {self.path!r}"})
         except Exception as error:  # noqa: BLE001 - boundary
             self._send_json(500, {"error": str(error)})
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
+        from .registry import UnknownRouteError
+
         try:
             if self.path == "/search":
                 self._handle_search()
@@ -578,6 +714,8 @@ class SearchRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(404, {"error": f"unknown path {self.path!r}"})
         except _BodyTooLarge as error:
             self._send_json(413, {"error": str(error)})
+        except UnknownRouteError as error:
+            self._send_json(404, {"error": str(error)})
         except ProtocolError as error:
             self._send_json(400, {"error": str(error)})
         except Exception as error:  # noqa: BLE001 - boundary
@@ -585,16 +723,28 @@ class SearchRequestHandler(BaseHTTPRequestHandler):
 
     def _handle_search(self) -> None:
         payload = self._read_json()
+        route = None
         if isinstance(payload, dict) and "spectrum" in payload:
+            route = route_from_payload(payload)
             payload = payload["spectrum"]
+        elif isinstance(payload, dict) and "route" in payload:
+            # The legacy bare-spectrum form has no route slot; silently
+            # answering from the default route would be exactly the
+            # wrong-library leak the routing layer exists to prevent.
+            raise ProtocolError(
+                'a routed search must use the wrapped form '
+                '{"spectrum": {...}, "route": "<name>"}'
+            )
+        service = self.registry.get(route)
         spectrum = spectrum_from_payload(payload)
         started = time.perf_counter()
-        psm, cached = self.service.search_one_detailed(spectrum)
+        psm, cached = service.search_one_detailed(spectrum)
         self._send_json(
             200,
             {
                 "psm": psm.to_dict() if psm is not None else None,
                 "cached": cached,
+                "route": service.route,
                 "elapsed_ms": round(
                     1000.0 * (time.perf_counter() - started), 3
                 ),
@@ -608,15 +758,17 @@ class SearchRequestHandler(BaseHTTPRequestHandler):
         spectra_payload = payload["spectra"]
         if not isinstance(spectra_payload, list):
             raise ProtocolError('"spectra" must be a list')
+        service = self.registry.get(route_from_payload(payload))
         spectra = [spectrum_from_payload(entry) for entry in spectra_payload]
         started = time.perf_counter()
-        psms = self.service.search_many(spectra)
+        psms = service.search_many(spectra)
         self._send_json(
             200,
             {
                 "psms": [
                     psm.to_dict() if psm is not None else None for psm in psms
                 ],
+                "route": service.route,
                 "elapsed_ms": round(
                     1000.0 * (time.perf_counter() - started), 3
                 ),
@@ -630,48 +782,93 @@ class SearchRequestHandler(BaseHTTPRequestHandler):
         if not isinstance(payload, dict):
             # Don't silently reload the old path for a wrong-shaped
             # body the client meant as a new index.
-            raise ProtocolError('body must be {} or {"index": "<path>"}')
+            raise ProtocolError(
+                'body must be {} or '
+                '{"index": "<path>", "route": "<name>", "remove": bool}'
+            )
         index_path = payload.get("index")
         if index_path is not None and not isinstance(index_path, str):
             raise ProtocolError('"index" must be a string path')
+        route = route_from_payload(payload)
+        remove = payload.get("remove", False)
+        if not isinstance(remove, bool):
+            raise ProtocolError('"remove" must be a boolean')
+        if remove:
+            if index_path is not None:
+                raise ProtocolError(
+                    '"remove" and "index" are mutually exclusive'
+                )
+            if route is None:
+                raise ProtocolError('"remove" requires a "route"')
+            try:
+                self.registry.remove_route(route)
+            except ValueError as error:
+                raise ProtocolError(str(error)) from None
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "removed": route,
+                    "routes": self.registry.route_names(),
+                },
+            )
+            return
         try:
-            summary = self.service.reload(index_path)
+            service = self.registry.reload_route(route, index_path)
         except (ValueError, OSError) as error:
             raise ProtocolError(str(error)) from None
         self._send_json(
             200,
             {
                 "status": "ok",
-                "index": summary,
-                "num_references": self.service.index.num_references,
+                "route": service.route,
+                "index": service.index.summary(),
+                "num_references": service.index.num_references,
+                "routes": self.registry.route_names(),
             },
         )
 
 
 def start_server(
-    service: SearchService, host: str = "127.0.0.1", port: int = 0
+    service, host: str = "127.0.0.1", port: int = 0
 ) -> SearchServer:
-    """Bind a :class:`SearchServer` (port 0 = ephemeral); caller serves."""
+    """Bind a :class:`SearchServer` (port 0 = ephemeral); caller serves.
+
+    ``service`` may be a single :class:`SearchService` or an
+    :class:`~repro.service.registry.IndexRegistry` fronting several.
+    """
     return SearchServer((host, port), service)
 
 
 def serve(
-    index_path: Union[str, Path],
+    index_path,
     host: str = "127.0.0.1",
     port: int = 8337,
     config: Optional[ServiceConfig] = None,
     quiet: bool = False,
+    default_route: Optional[str] = None,
+    drain_timeout: float = 30.0,
 ) -> int:
     """Run the service until SIGINT/SIGTERM; drains before exiting.
 
-    This is the ``repro serve`` entry point.  Shutdown order matters:
-    stop accepting connections first, then drain the micro-batch queue
-    (queued requests still get real answers), then close the sharded
-    pool gracefully.
+    This is the ``repro serve`` entry point.  ``index_path`` accepts a
+    single path (served as the ``"default"`` route) or a
+    ``{route: path}`` mapping / sequence of pairs for multi-index
+    routing.  Shutdown order matters: stop accepting connections first,
+    then drain each route's micro-batch queue (queued requests still
+    get real answers), then close the sharded pools gracefully.
+    ``drain_timeout`` bounds the whole shutdown against a wedged
+    engine: if joining the in-flight handlers takes longer, their
+    pending futures are failed (clients get errors, not silence) so
+    the process still exits.
     """
+    from .registry import IndexRegistry
+
     try:
-        service = SearchService(Path(index_path), config=config)
-        server = start_server(service, host, port)
+        registry = IndexRegistry(
+            index_path, default_route=default_route, config=config
+        )
+        server = start_server(registry, host, port)
     except (ValueError, OSError) as error:
         raise ServiceStartupError(str(error)) from error
     server.quiet = quiet
@@ -690,18 +887,35 @@ def serve(
         except ValueError:  # not the main thread
             pass
     bound_host, bound_port = server.server_address[:2]
-    print(f"serving {service.index.summary()}")
+    for name in registry.route_names():
+        marker = " (default)" if name == registry.default_route else ""
+        print(f"route {name}{marker}: {registry.get(name).index.summary()}")
+    service_config = registry.get().config
     print(
         f"listening on http://{bound_host}:{bound_port} "
-        f"(max_batch={service.config.max_batch}, "
-        f"max_wait_ms={service.config.max_wait_ms})",
+        f"(max_batch={service_config.max_batch}, "
+        f"max_wait_ms={service_config.max_wait_ms})",
         flush=True,
     )
     try:
         server.serve_forever()
     finally:
-        server.server_close()
-        service.close()
+        # server_close() joins the non-daemon handler threads, which
+        # block in future.result() until their batches drain — the
+        # graceful path.  A wedged engine would park them forever, so a
+        # watchdog force-closes the registry (failing the pending
+        # futures, which unblocks the handlers) if the join outlives
+        # drain_timeout.
+        watchdog = threading.Timer(
+            drain_timeout, registry.close, kwargs={"timeout": 5.0}
+        )
+        watchdog.daemon = True
+        watchdog.start()
+        try:
+            server.server_close()
+        finally:
+            watchdog.cancel()
+            registry.close(timeout=drain_timeout)
         for signum, previous in installed:
             signal.signal(signum, previous)
         print("service drained and closed", flush=True)

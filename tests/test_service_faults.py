@@ -1,0 +1,540 @@
+"""Concurrency and fault-injection tests for the service layer.
+
+The scenarios a production deployment actually hits:
+
+* a request storm over two routes while one of them is hot-swapped by
+  ``/reload`` — no dropped responses, no cross-routed responses, and
+  the ``/metrics`` counters reconcile with client-observed tallies;
+* the scheduler flush race under a tiny ``max_wait_ms`` (the deadline
+  expires while submitters are still piling on);
+* SIGTERM-style ``close()`` during an in-flight batch — every pending
+  future resolves (result or error) instead of hanging, including the
+  wedged-engine case where the drain can never finish.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.hdc.spaces import HDSpaceConfig
+from repro.index import LibraryIndex, ShardedSearcher
+from repro.ms.synthetic import WorkloadConfig, build_workload
+from repro.oms.search import HDOmsSearcher
+from repro.service import (
+    IndexRegistry,
+    MicroBatchScheduler,
+    SearchClient,
+    SearchService,
+    ServiceConfig,
+    start_server,
+)
+
+from test_service_metrics import parse_prometheus, sample_value
+
+
+@pytest.fixture(scope="module")
+def workload_a(binning):
+    return build_workload(
+        WorkloadConfig(
+            name="fault-a", num_references=120, num_queries=20, seed=7
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def workload_b(binning):
+    return build_workload(
+        WorkloadConfig(
+            name="fault-b", num_references=130, num_queries=20, seed=29
+        )
+    )
+
+
+def _save_index(workload, binning, tmp_path_factory, source):
+    index = LibraryIndex.build(
+        workload.references,
+        space_config=HDSpaceConfig(
+            dim=512, num_bins=binning.num_bins, num_levels=8, seed=13
+        ),
+        binning=binning,
+        source=source,
+    )
+    return index, index.save(tmp_path_factory.mktemp(source) / "library.npz")
+
+
+@pytest.fixture(scope="module")
+def index_a(workload_a, binning, tmp_path_factory):
+    return _save_index(workload_a, binning, tmp_path_factory, "fault-a")
+
+
+@pytest.fixture(scope="module")
+def index_b(workload_b, binning, tmp_path_factory):
+    return _save_index(workload_b, binning, tmp_path_factory, "fault-b")
+
+
+@pytest.fixture(scope="module")
+def baselines(index_a, index_b, workload_a):
+    """Per-route truth for the same query set (queries of workload A)."""
+    by_route = {}
+    for route, (index, _path) in (("alpha", index_a), ("beta", index_b)):
+        result = HDOmsSearcher.from_index(index).search(workload_a.queries)
+        by_route[route] = {psm.query_id: psm for psm in result.psms}
+    return by_route
+
+
+# ----------------------------------------------------------------------
+# storm: two routes, concurrent clients, hot reload, metrics reconcile
+# ----------------------------------------------------------------------
+
+
+class TestRoutedStorm:
+    NUM_THREADS = 6
+    ROUNDS = 2
+
+    def test_storm_with_hot_reload_reconciles(
+        self, index_a, index_b, workload_a, baselines
+    ):
+        _ia, path_a = index_a
+        _ib, path_b = index_b
+        registry = IndexRegistry(
+            {"alpha": path_a, "beta": path_b},
+            default_route="alpha",
+            config=ServiceConfig(max_batch=8, max_wait_ms=5.0),
+        )
+        server = start_server(registry)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        client_url = f"http://{host}:{port}"
+
+        tallies = {"alpha": 0, "beta": 0}
+        tally_lock = threading.Lock()
+        responses = []  # (route, query_id, psm)
+        errors = []
+        storm_done = threading.Event()
+
+        def storm(worker):
+            client = SearchClient(client_url)
+            try:
+                for round_no in range(self.ROUNDS):
+                    for position, query in enumerate(workload_a.queries):
+                        route = (
+                            "alpha"
+                            if (worker + position + round_no) % 2 == 0
+                            else "beta"
+                        )
+                        psm = client.search(query, route=route)
+                        with tally_lock:
+                            tallies[route] += 1
+                            responses.append(
+                                (route, query.identifier, psm)
+                            )
+            except Exception as error:  # pragma: no cover - fail loudly
+                errors.append(error)
+
+        def reloader():
+            client = SearchClient(client_url)
+            try:
+                while not storm_done.wait(0.05):
+                    client.reload(route="alpha")
+            except Exception as error:  # pragma: no cover - fail loudly
+                errors.append(error)
+
+        workers = [
+            threading.Thread(target=storm, args=(worker,))
+            for worker in range(self.NUM_THREADS)
+        ]
+        swapper = threading.Thread(target=reloader)
+        for worker in workers:
+            worker.start()
+        swapper.start()
+        for worker in workers:
+            worker.join(timeout=120)
+        storm_done.set()
+        swapper.join(timeout=30)
+        try:
+            assert not errors
+            assert not any(worker.is_alive() for worker in workers)
+            expected_total = (
+                self.NUM_THREADS * self.ROUNDS * len(workload_a.queries)
+            )
+            # No dropped responses...
+            assert len(responses) == expected_total
+            assert tallies["alpha"] + tallies["beta"] == expected_total
+            # ...and no cross-routed ones: every PSM matches the truth
+            # of the route that was asked for, reload storm or not.
+            for route, query_id, psm in responses:
+                assert psm == baselines[route].get(query_id), (
+                    f"route {route} answered {query_id} wrongly"
+                )
+            # /metrics counters reconcile with client-observed tallies.
+            samples, _types = parse_prometheus(
+                SearchClient(client_url).metrics()
+            )
+            requests = "hdoms_service_requests_total"
+            lookups = "hdoms_service_cache_lookups_total"
+            latency = "hdoms_service_request_latency_seconds_count"
+            for route in ("alpha", "beta"):
+                observed = sample_value(
+                    samples, requests, route=route, endpoint="search"
+                )
+                assert observed == tallies[route]
+                hits = sample_value(
+                    samples, lookups, route=route, outcome="hit"
+                )
+                misses = sample_value(
+                    samples, lookups, route=route, outcome="miss"
+                )
+                # One cache lookup per request, exactly.
+                assert hits + misses == tallies[route]
+                assert sample_value(samples, latency, route=route) == (
+                    tallies[route]
+                )
+            # The reloader did exercise the swap path under load.
+            reloads = sample_value(
+                samples, "hdoms_service_reloads_total", route="alpha"
+            )
+            assert reloads >= 1
+            assert registry.get("alpha")._generation == int(reloads)
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+            registry.close()
+
+
+# ----------------------------------------------------------------------
+# scheduler flush race under a tiny max_wait_ms
+# ----------------------------------------------------------------------
+
+
+class TestFlushRace:
+    def test_tiny_max_wait_under_contention_loses_nothing(self):
+        processed = []
+        lock = threading.Lock()
+
+        def runner(items):
+            with lock:
+                processed.extend(items)
+            return [item * 2 for item in items]
+
+        scheduler = MicroBatchScheduler(runner, max_batch=4, max_wait_ms=0.2)
+        results = {}
+        errors = []
+
+        def submitter(base):
+            try:
+                for offset in range(50):
+                    value = base * 1000 + offset
+                    results[value] = scheduler.submit(value).result(
+                        timeout=30
+                    )
+            except Exception as error:  # pragma: no cover - fail loudly
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=submitter, args=(base,))
+            for base in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        scheduler.close(drain=True)
+        assert not errors
+        assert len(results) == 400
+        assert all(value * 2 == out for value, out in results.items())
+        # Stats reconcile: every submission was batched exactly once.
+        assert sorted(processed) == sorted(results)
+        snapshot = scheduler.stats.snapshot()
+        assert snapshot["requests"] == 400
+        assert snapshot["batches"] >= 100  # max_batch=4 caps flush size
+        assert snapshot["max_batch_size"] <= 4
+        assert (
+            snapshot["full_flushes"]
+            + snapshot["timeout_flushes"]
+            + snapshot["drain_flushes"]
+            == snapshot["batches"]
+        )
+
+
+# ----------------------------------------------------------------------
+# shutdown ordering: close() during an in-flight batch must not hang
+# ----------------------------------------------------------------------
+
+
+class TestShutdownOrdering:
+    def test_close_during_inflight_batch_resolves_all(self):
+        def slow_echo(items):
+            time.sleep(0.15)
+            return list(items)
+
+        scheduler = MicroBatchScheduler(
+            slow_echo, max_batch=2, max_wait_ms=60_000
+        )
+        futures = [scheduler.submit(value) for value in range(6)]
+        time.sleep(0.05)  # first batch is now in flight
+        scheduler.close(drain=True)
+        assert [future.result(timeout=0) for future in futures] == list(
+            range(6)
+        )
+
+    def test_wedged_runner_close_fails_pending_instead_of_hanging(self):
+        entered = threading.Event()
+        release = threading.Event()
+
+        def wedged(items):
+            entered.set()
+            release.wait(30)
+            return list(items)
+
+        scheduler = MicroBatchScheduler(wedged, max_batch=2, max_wait_ms=0)
+        futures = [scheduler.submit(value) for value in range(5)]
+        assert entered.wait(5)
+        started = time.monotonic()
+        scheduler.close(drain=True, timeout=0.5)
+        elapsed = time.monotonic() - started
+        assert elapsed < 5, "close() hung on the wedged runner"
+        for future in futures:
+            with pytest.raises(RuntimeError, match="in flight"):
+                future.result(timeout=1)
+        # Un-wedge; the late completion must be harmless (the guarded
+        # future delivery swallows the already-failed futures) and the
+        # flusher must exit cleanly.
+        release.set()
+        scheduler._thread.join(timeout=5)
+        assert not scheduler._thread.is_alive()
+
+    def test_concurrent_close_callers_both_wait_for_drain(self):
+        def slow_echo(items):
+            time.sleep(0.1)
+            return list(items)
+
+        scheduler = MicroBatchScheduler(
+            slow_echo, max_batch=2, max_wait_ms=60_000
+        )
+        futures = [scheduler.submit(value) for value in range(8)]
+        drained_at_return = []
+
+        def closer():
+            scheduler.close(drain=True)
+            drained_at_return.append(
+                all(future.done() for future in futures)
+            )
+
+        closers = [threading.Thread(target=closer) for _ in range(2)]
+        for thread in closers:
+            thread.start()
+        for thread in closers:
+            thread.join(timeout=30)
+        # Both callers — not just the first — returned only after every
+        # queued batch drained; a caller tearing down the engine next
+        # would otherwise race the still-running flusher.
+        assert drained_at_return == [True, True]
+        assert [future.result(timeout=0) for future in futures] == list(
+            range(8)
+        )
+
+    def test_service_close_with_wedged_engine_fails_pending(
+        self, index_a, workload_a
+    ):
+        _index, path = index_a
+        service = SearchService(
+            path, ServiceConfig(max_batch=4, max_wait_ms=5.0)
+        )
+        entered = threading.Event()
+        release = threading.Event()
+        real_search = service._engine.search
+
+        def wedged_search(batch):
+            entered.set()
+            release.wait(30)
+            return real_search(batch)
+
+        service._engine.search = wedged_search
+        try:
+            future = service.scheduler.submit(workload_a.queries[0])
+            assert entered.wait(5)
+            started = time.monotonic()
+            service.close(timeout=0.5)
+            assert time.monotonic() - started < 5
+            with pytest.raises(RuntimeError, match="in flight"):
+                future.result(timeout=1)
+        finally:
+            release.set()
+            service.scheduler._thread.join(timeout=5)
+
+    def test_reload_times_out_on_wedged_engine(
+        self, index_a, workload_a, monkeypatch
+    ):
+        # A wedged batch holds the engine lock forever; reload must
+        # give up with an error instead of parking its handler thread
+        # (which would hang server_close at shutdown).
+        from repro.service import server as server_module
+
+        monkeypatch.setattr(server_module, "ENGINE_SWAP_TIMEOUT", 0.2)
+        _index, path = index_a
+        service = SearchService(
+            path, ServiceConfig(max_batch=4, max_wait_ms=5.0)
+        )
+        entered = threading.Event()
+        release = threading.Event()
+        real_search = service._engine.search
+
+        def wedged_search(batch):
+            entered.set()
+            release.wait(30)
+            return real_search(batch)
+
+        service._engine.search = wedged_search
+        try:
+            future = service.scheduler.submit(workload_a.queries[0])
+            assert entered.wait(5)
+            with pytest.raises(RuntimeError, match="timed out"):
+                service.reload()
+        finally:
+            release.set()
+            future.result(timeout=10)  # the wedged batch completes
+            service.close(timeout=10)
+
+    def test_sigterm_style_service_close_under_load(
+        self, index_a, workload_a, baselines
+    ):
+        """SIGTERM mid-traffic: every request resolves, nothing hangs.
+
+        Clients either get the bit-identical PSM (their batch drained)
+        or a clean RuntimeError (they raced the closed scheduler) —
+        never a hung ``result()``.
+        """
+        _index, path = index_a
+        service = SearchService(
+            path,
+            ServiceConfig(
+                max_batch=4,
+                max_wait_ms=20.0,
+                engine="sharded",
+                num_shards=2,
+                num_workers=2,
+            ),
+        )
+        results = {}
+        errors = []
+
+        def client(shard):
+            for query in workload_a.queries[shard::4]:
+                try:
+                    results[query.identifier] = service.search_one(query)
+                except RuntimeError as error:
+                    errors.append(error)
+
+        threads = [
+            threading.Thread(target=client, args=(shard,))
+            for shard in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.03)  # let batches get in flight
+        service.close(timeout=30)
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not any(thread.is_alive() for thread in threads), (
+            "a client hung on close()"
+        )
+        # Whatever resolved is correct; whatever errored said so loudly.
+        for query_id, psm in results.items():
+            assert psm == baselines["alpha"].get(query_id)
+        assert len(results) + len(errors) == len(workload_a.queries)
+        for error in errors:
+            assert "closed" in str(error) or "in flight" in str(error)
+
+    def test_repro_serve_sigterm_drains_and_exits(
+        self, index_a, index_b, workload_a, baselines
+    ):
+        """The real thing: ``repro serve`` (two routes) killed by SIGTERM.
+
+        The process must answer routed traffic, then exit cleanly on
+        SIGTERM with the drain message — not hang, not die mid-write.
+        """
+        _ia, path_a = index_a
+        _ib, path_b = index_b
+        from pathlib import Path
+
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                "from repro.cli import main; import sys; sys.exit(main())",
+                "serve",
+                "--index",
+                f"alpha={path_a}",
+                "--index",
+                f"beta={path_b}",
+                "--port",
+                "0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            port = None
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                line = process.stdout.readline()
+                assert line, "server exited before listening"
+                if "listening on http://" in line:
+                    port = int(
+                        line.split("listening on http://", 1)[1]
+                        .split()[0]
+                        .rsplit(":", 1)[1]
+                    )
+                    break
+            assert port, "never saw the listening line"
+            client = SearchClient(f"http://127.0.0.1:{port}", timeout=30)
+            query = workload_a.queries[0]
+            assert client.search(query) == baselines["alpha"].get(
+                query.identifier
+            )
+            assert client.search(query, route="beta") == baselines[
+                "beta"
+            ].get(query.identifier)
+            assert "hdoms_service_requests_total" in client.metrics()
+            process.send_signal(signal.SIGTERM)
+            remaining = process.communicate(timeout=30)[0]
+            assert process.returncode == 0
+            assert "service drained and closed" in remaining
+        finally:
+            if process.poll() is None:  # pragma: no cover - cleanup
+                process.kill()
+                process.communicate(timeout=10)
+
+    def test_sharded_close_during_inflight_search(self, index_a, workload_a):
+        index, _path = index_a
+        searcher = ShardedSearcher(index, num_shards=2, num_workers=2)
+        outcome = {}
+
+        def worker():
+            try:
+                outcome["result"] = searcher.search(workload_a.queries)
+            except Exception as error:  # noqa: BLE001 - recorded
+                outcome["error"] = error
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        time.sleep(0.01)  # race close() against the in-flight fan-out
+        searcher.close()
+        thread.join(timeout=60)
+        assert not thread.is_alive(), "search hung across close()"
+        assert outcome, "worker finished without recording an outcome"
+        searcher.close()  # clean up any pool the racing search rebuilt
