@@ -1,7 +1,7 @@
-"""HD-OMS-MLC: open modification spectral library search with
-hyperdimensional computing on (simulated) multi-level-cell RRAM.
+"""Open modification spectral library search in high-dimensional space.
 
-A full reproduction of Fan et al., "Efficient Open Modification Spectral
+HD-OMS-MLC: hyperdimensional open-modification search on (simulated)
+multi-level-cell RRAM.  A full reproduction of Fan et al., "Efficient Open Modification Spectral
 Library Searching in High-Dimensional Space with Multi-Level-Cell
 Memory" (DAC 2024, arXiv:2405.02756).  See DESIGN.md for the system
 inventory and EXPERIMENTS.md for the paper-vs-measured record.

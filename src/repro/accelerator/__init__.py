@@ -1,6 +1,8 @@
-"""The proposed OMS accelerator (paper Section 4): in-memory encoding,
-in-memory Hamming search, MLC query storage, and the performance/energy
-models behind Figure 12 and Section 5.3.3."""
+"""The proposed OMS accelerator (paper Section 4).
+
+In-memory encoding, in-memory Hamming search, MLC query storage, and
+the performance/energy models behind Figure 12 and Section 5.3.3.
+"""
 
 from .config import AcceleratorConfig
 from .im_encoder import EncoderStats, InMemoryEncoder

@@ -54,11 +54,13 @@ class StoredQueryEncoder:
         self._store = HypervectorStore(bits_per_cell, device=device, seed=seed)
 
     def encode(self, spectrum: Spectrum) -> np.ndarray:
+        """Encode one spectrum into a bipolar hypervector."""
         hypervector = self.inner.encode(spectrum)
         self._store.write(hypervector)
         return self._store.read(self.storage_time_s).hypervectors[0]
 
     def encode_batch(self, spectra: Sequence) -> np.ndarray:
+        """Encode many spectra; output rows align with the input order."""
         hypervectors = self.inner.encode_batch(spectra)
         self._store.write(hypervectors)
         return self._store.read(self.storage_time_s).hypervectors

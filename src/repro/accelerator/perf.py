@@ -52,6 +52,7 @@ class WorkloadShape:
 
     @property
     def avg_open_candidates(self) -> float:
+        """Mean candidate rows scored per open-search query."""
         return self.open_candidate_fraction * self.num_references
 
 
@@ -213,6 +214,7 @@ class DigitalPlatformModel:
     algorithm: str  # "sdp" or "hd"
 
     def operation_count(self, shape: WorkloadShape) -> float:
+        """Primitive operations needed to run ``shape`` on this platform."""
         if self.algorithm == "sdp":
             return sdp_operation_count(shape)
         if self.algorithm == "hd":
@@ -220,6 +222,7 @@ class DigitalPlatformModel:
         raise ValueError(f"unknown algorithm {self.algorithm!r}")
 
     def cost(self, shape: WorkloadShape) -> PlatformCost:
+        """Cost estimate for running ``shape`` on this platform."""
         seconds = self.operation_count(shape) / self.effective_ops_per_s
         return PlatformCost(
             name=self.name, seconds=seconds, joules=seconds * self.power_w

@@ -1,0 +1,24 @@
+"""Sublinear Hamming-LSH candidate prefilter with exact re-rank.
+
+The package provides the approximate stage of the cascade described in
+``docs/architecture.md``: :class:`HammingLSHIndex` shortlists library
+rows likely Hamming-close to a query hypervector,
+:class:`CandidatePrefilter` intersects the shortlist with the precursor
+window in exact-search order, and the searchers re-rank the survivors
+with the usual exact backends.  ``docs/ann-tuning.md`` covers the
+knobs.
+"""
+
+from .config import ANN_FORMAT_VERSION, AnnConfig
+from .lsh import HammingLSHIndex
+from .prefilter import OUTCOMES, AnnStats, CandidatePrefilter, PrefilterSelection
+
+__all__ = [
+    "ANN_FORMAT_VERSION",
+    "OUTCOMES",
+    "AnnConfig",
+    "AnnStats",
+    "CandidatePrefilter",
+    "HammingLSHIndex",
+    "PrefilterSelection",
+]

@@ -1,0 +1,325 @@
+"""Bit-sampled multi-probe Hamming LSH over packed hypervectors.
+
+The library's hypervectors are random-looking bipolar vectors whose
+Hamming distance is the search metric, which makes the oldest LSH
+family — bit sampling — a perfect, dependency-free fit: a hash key is
+just ``bits_per_hash`` sampled bit positions of the vector, and two
+vectors collide on a table with probability ``(1 - d/D) ** bits_per_hash``
+for Hamming distance ``d`` over dimension ``D``.  True matches
+(``d/D ~ 0.05-0.2`` after encoding noise) collide in at least one of a
+handful of tables with near certainty, while the unrelated bulk
+(``d/D ~ 0.5``) almost never does.
+
+Multi-probing (probing every bucket whose key differs from the query's
+in at most ``multiprobe_radius`` bits) buys the recall of many more
+tables without their memory: radius 1 turns 8 tables into an effective
+``8 * (1 + bits_per_hash)`` bucket probes.
+
+Buckets are stored sorted-key-style — per table, one array of keys
+sorted ascending plus the matching row permutation — so a probe is two
+``searchsorted`` calls and a slice, the whole structure is four dense
+arrays (mmap- and ``.npz``-friendly), and build cost is one stable sort
+per table.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from itertools import combinations
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .config import ANN_FORMAT_VERSION, AnnConfig
+
+#: Rows hashed per chunk during the build (bounds the transient
+#: unpacked-bits matrix to ``chunk * dim`` bytes).
+BUILD_CHUNK_ROWS = 16384
+
+
+def _probe_masks(bits_per_hash: int, radius: int) -> np.ndarray:
+    """All XOR masks within Hamming distance ``radius`` of a key.
+
+    Args:
+        bits_per_hash: Key width in bits.
+        radius: Maximum number of flipped bits (0-2).
+
+    Returns:
+        A uint64 array starting with ``0`` (the exact bucket), then all
+        single-bit masks, then all two-bit masks, in deterministic order.
+    """
+    masks: List[int] = [0]
+    for flips in range(1, radius + 1):
+        for positions in combinations(range(bits_per_hash), flips):
+            mask = 0
+            for position in positions:
+                mask |= 1 << position
+            masks.append(mask)
+    return np.asarray(masks, dtype=np.uint64)
+
+
+class HammingLSHIndex:
+    """Multi-probe bit-sampling LSH over a packed hypervector matrix.
+
+    Construct via :meth:`build` (from a ``pack_bipolar`` matrix) or
+    :meth:`from_arrays` (reloading persisted tables).  The structure is
+    immutable after construction; :meth:`query` is read-only and safe to
+    share across threads.
+
+    Attributes:
+        config: The :class:`~repro.ann.config.AnnConfig` built with.
+        dim: Hypervector dimensionality the bit positions index into.
+        num_rows: Number of hashed library rows.
+        bit_positions: ``(num_tables, bits_per_hash)`` sampled positions.
+    """
+
+    def __init__(
+        self,
+        config: AnnConfig,
+        dim: int,
+        bit_positions: np.ndarray,
+        sorted_keys: np.ndarray,
+        row_order: np.ndarray,
+    ) -> None:
+        """Adopt ready-made tables (use :meth:`build` to create them).
+
+        Args:
+            config: Prefilter configuration the tables were built with.
+            dim: Hypervector dimensionality.
+            bit_positions: ``(num_tables, bits_per_hash)`` int64 sampled
+                bit positions, each in ``[0, dim)``.
+            sorted_keys: ``(num_tables, num_rows)`` uint64 hash keys,
+                ascending per table.
+            row_order: ``(num_tables, num_rows)`` int64 row permutation
+                aligned with ``sorted_keys``.
+
+        Raises:
+            ValueError: If the array shapes disagree with ``config``.
+        """
+        bit_positions = np.asarray(bit_positions, dtype=np.int64)
+        sorted_keys = np.asarray(sorted_keys, dtype=np.uint64)
+        row_order = np.asarray(row_order, dtype=np.int64)
+        expected = (config.num_tables, config.bits_per_hash)
+        if bit_positions.shape != expected:
+            raise ValueError(
+                f"bit_positions shape {bit_positions.shape} disagrees with "
+                f"config {expected}"
+            )
+        if sorted_keys.ndim != 2 or sorted_keys.shape[0] != config.num_tables:
+            raise ValueError(
+                f"sorted_keys shape {sorted_keys.shape} disagrees with "
+                f"{config.num_tables} tables"
+            )
+        if row_order.shape != sorted_keys.shape:
+            raise ValueError(
+                f"row_order shape {row_order.shape} disagrees with "
+                f"sorted_keys shape {sorted_keys.shape}"
+            )
+        if bit_positions.size and int(bit_positions.max()) >= dim:
+            raise ValueError(
+                f"bit position {int(bit_positions.max())} out of range for "
+                f"dim {dim}"
+            )
+        self.config = config
+        self.dim = int(dim)
+        self.bit_positions = bit_positions
+        self._sorted_keys = sorted_keys
+        self._row_order = row_order
+        self._weights = (
+            np.uint64(1) << np.arange(config.bits_per_hash, dtype=np.uint64)
+        )
+        self._masks = _probe_masks(
+            config.bits_per_hash, config.multiprobe_radius
+        )
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        packed: np.ndarray,
+        dim: int,
+        config: Optional[AnnConfig] = None,
+        chunk_rows: int = BUILD_CHUNK_ROWS,
+    ) -> "HammingLSHIndex":
+        """Hash a ``pack_bipolar`` matrix into sorted bucket tables.
+
+        Args:
+            packed: ``(num_rows, ceil(dim / 8))`` uint8 packed bit
+                matrix in :func:`~repro.hdc.packing.pack_bipolar`
+                layout.
+            dim: Unpacked hypervector dimensionality.
+            config: Prefilter knobs; defaults to :class:`AnnConfig`\\ ().
+            chunk_rows: Rows unpacked and hashed per pass (memory bound).
+
+        Returns:
+            A ready-to-query index over all rows of ``packed``.
+
+        Raises:
+            ValueError: If ``dim`` is smaller than ``bits_per_hash`` or
+                the packed matrix does not match ``dim``.
+        """
+        config = config or AnnConfig()
+        packed = np.asarray(packed)
+        if packed.ndim != 2 or packed.shape[1] != -(-dim // 8):
+            raise ValueError(
+                f"packed matrix shape {packed.shape} does not match dim {dim}"
+            )
+        if dim < config.bits_per_hash:
+            raise ValueError(
+                f"dim {dim} is smaller than bits_per_hash "
+                f"{config.bits_per_hash}"
+            )
+        rng = np.random.default_rng(config.seed)
+        bit_positions = np.stack(
+            [
+                rng.choice(dim, size=config.bits_per_hash, replace=False)
+                for _ in range(config.num_tables)
+            ]
+        ).astype(np.int64)
+        flat_positions = bit_positions.reshape(-1)
+
+        num_rows = packed.shape[0]
+        weights = np.uint64(1) << np.arange(
+            config.bits_per_hash, dtype=np.uint64
+        )
+        keys = np.empty((config.num_tables, num_rows), dtype=np.uint64)
+        for start in range(0, num_rows, max(1, chunk_rows)):
+            chunk = packed[start : start + chunk_rows]
+            bits = np.unpackbits(chunk, axis=-1)[:, flat_positions]
+            grouped = bits.reshape(
+                len(chunk), config.num_tables, config.bits_per_hash
+            )
+            keys[:, start : start + chunk_rows] = (
+                grouped.astype(np.uint64) @ weights
+            ).T
+
+        row_order = np.argsort(keys, axis=1, kind="stable").astype(np.int64)
+        sorted_keys = np.take_along_axis(keys, row_order.astype(np.intp), axis=1)
+        return cls(config, dim, bit_positions, sorted_keys, row_order)
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        """Number of library rows hashed into the tables."""
+        return self._sorted_keys.shape[1]
+
+    def keys_for(self, query_hv: np.ndarray) -> np.ndarray:
+        """Per-table hash keys of one bipolar query hypervector.
+
+        Args:
+            query_hv: ``(dim,)`` bipolar {-1, +1} vector (any int dtype).
+
+        Returns:
+            ``(num_tables,)`` uint64 keys.
+        """
+        bits = (np.asarray(query_hv)[self.bit_positions] > 0).astype(np.uint64)
+        return bits @ self._weights
+
+    def query(self, query_hv: np.ndarray) -> np.ndarray:
+        """Shortlist candidate rows for one query hypervector.
+
+        Probes every bucket within ``multiprobe_radius`` key bits across
+        all tables, unions the hits, and keeps at most
+        ``candidate_budget`` rows ranked by how many probes voted for
+        them (ties broken toward the lowest row index, so the result is
+        deterministic).
+
+        Args:
+            query_hv: ``(dim,)`` bipolar {-1, +1} query hypervector.
+
+        Returns:
+            int64 row indices, highest vote count first; possibly empty.
+        """
+        keys = self.keys_for(query_hv)
+        hits: List[np.ndarray] = []
+        for table in range(self.config.num_tables):
+            sorted_keys = self._sorted_keys[table]
+            probes = keys[table] ^ self._masks
+            lows = np.searchsorted(sorted_keys, probes, side="left")
+            highs = np.searchsorted(sorted_keys, probes, side="right")
+            order = self._row_order[table]
+            for low, high in zip(lows, highs):
+                if high > low:
+                    hits.append(order[low:high])
+        if not hits:
+            return np.empty(0, dtype=np.int64)
+        candidates, votes = np.unique(np.concatenate(hits), return_counts=True)
+        if len(candidates) > self.config.candidate_budget:
+            keep = np.lexsort((candidates, -votes))[
+                : self.config.candidate_budget
+            ]
+            return candidates[keep]
+        return candidates
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def provenance(self) -> dict:
+        """Identity of these tables, persisted alongside the arrays."""
+        return {
+            "format_version": ANN_FORMAT_VERSION,
+            "config": dataclasses.asdict(self.config),
+            "dim": self.dim,
+            "num_rows": self.num_rows,
+        }
+
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """The dense arrays an ``.npz`` archive needs to rebuild this."""
+        return {
+            "ann_bit_positions": self.bit_positions,
+            "ann_sorted_keys": self._sorted_keys,
+            "ann_row_order": self._row_order,
+        }
+
+    @classmethod
+    def from_arrays(
+        cls, provenance: dict, arrays: Dict[str, np.ndarray]
+    ) -> "HammingLSHIndex":
+        """Rebuild an index from :meth:`provenance` + :meth:`to_arrays`.
+
+        Args:
+            provenance: The persisted :meth:`provenance` dict.
+            arrays: Mapping holding the three ``ann_*`` arrays.
+
+        Returns:
+            The reconstructed, ready-to-query index.
+
+        Raises:
+            ValueError: On version or shape mismatches (callers in the
+                index layer re-wrap this as ``IndexCompatibilityError``).
+        """
+        version = int(provenance.get("format_version", -1))
+        if version != ANN_FORMAT_VERSION:
+            raise ValueError(
+                f"ANN table format version {version} unsupported "
+                f"(expected {ANN_FORMAT_VERSION})"
+            )
+        config = AnnConfig(**provenance["config"])
+        index = cls(
+            config,
+            int(provenance["dim"]),
+            arrays["ann_bit_positions"],
+            arrays["ann_sorted_keys"],
+            arrays["ann_row_order"],
+        )
+        if index.num_rows != int(provenance["num_rows"]):
+            raise ValueError(
+                f"ANN tables hold {index.num_rows} rows but provenance "
+                f"says {int(provenance['num_rows'])}"
+            )
+        return index
+
+    def nbytes(self) -> int:
+        """Approximate in-memory footprint of the tables."""
+        return int(
+            self.bit_positions.nbytes
+            + self._sorted_keys.nbytes
+            + self._row_order.nbytes
+        )

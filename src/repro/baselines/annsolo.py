@@ -77,6 +77,7 @@ class AnnSoloSearcher(VectorSearcherBase):
         query_vector: SparseVector,
         positions: np.ndarray,
     ) -> np.ndarray:
+        """Score the candidate references against one query spectrum."""
         scores = np.empty(len(positions), dtype=np.float64)
         for row, position in enumerate(positions):
             reference = self.references[int(position)]

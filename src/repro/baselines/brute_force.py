@@ -27,6 +27,7 @@ class BruteForceSearcher(VectorSearcherBase):
         query_vector: SparseVector,
         positions: np.ndarray,
     ) -> np.ndarray:
+        """Score the candidate references against one query spectrum."""
         scores = np.empty(len(positions), dtype=np.float64)
         for row, position in enumerate(positions):
             scores[row] = cosine_similarity(

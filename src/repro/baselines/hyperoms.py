@@ -62,6 +62,7 @@ class HyperOmsSearcher:
 
     @property
     def num_references(self) -> int:
+        """Number of reference spectra in the library."""
         return self._searcher.num_references
 
     def search(self, queries: Sequence[Spectrum]) -> SearchResult:

@@ -26,6 +26,86 @@ from typing import List, Optional
 from . import __version__
 
 
+def _add_ann_arguments(parser) -> None:
+    """The shared ``--ann*`` flag group (index build/search, serve)."""
+    group = parser.add_argument_group(
+        "approximate search",
+        "Hamming-LSH candidate prefilter with exact re-rank "
+        "(see docs/ann-tuning.md)",
+    )
+    group.add_argument(
+        "--ann",
+        action="store_true",
+        help="enable the ANN candidate prefilter",
+    )
+    group.add_argument(
+        "--ann-tables",
+        type=int,
+        default=None,
+        metavar="T",
+        help="number of LSH hash tables (default 8)",
+    )
+    group.add_argument(
+        "--ann-bits",
+        type=int,
+        default=None,
+        metavar="B",
+        help="sampled bits per hash key (default 16)",
+    )
+    group.add_argument(
+        "--ann-probe-radius",
+        type=int,
+        default=None,
+        metavar="R",
+        help="multiprobe Hamming radius around each key, 0-2 (default 1)",
+    )
+    group.add_argument(
+        "--ann-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max candidates kept per query after voting (default 256)",
+    )
+    group.add_argument(
+        "--ann-threshold",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "precursor windows smaller than this many rows skip the "
+            "prefilter and stay exact (default 1024)"
+        ),
+    )
+
+
+def _ann_config_from_args(args):
+    """``Optional[AnnConfig]`` from the ``--ann*`` flags.
+
+    Raises ``ValueError`` when a tuning flag is given without ``--ann``
+    — silently ignoring it would look like the knob took effect.
+    """
+    from .ann import AnnConfig
+
+    overrides = {
+        "num_tables": ("--ann-tables", args.ann_tables),
+        "bits_per_hash": ("--ann-bits", args.ann_bits),
+        "multiprobe_radius": ("--ann-probe-radius", args.ann_probe_radius),
+        "candidate_budget": ("--ann-budget", args.ann_budget),
+        "ann_threshold": ("--ann-threshold", args.ann_threshold),
+    }
+    given = {
+        key: (flag, value)
+        for key, (flag, value) in overrides.items()
+        if value is not None
+    }
+    if not args.ann:
+        if given:
+            flags = ", ".join(sorted(flag for flag, _ in given.values()))
+            raise ValueError(f"{flags} requires --ann")
+        return None
+    return AnnConfig(**{key: value for key, (_, value) in given.items()})
+
+
 def _add_workload_parser(subparsers) -> None:
     parser = subparsers.add_parser(
         "workload", help="generate a synthetic OMS benchmark to disk"
@@ -102,6 +182,7 @@ def _add_index_parser(subparsers) -> None:
         action="store_true",
         help="library already contains decoys (Comment: Decoy=true)",
     )
+    _add_ann_arguments(build)
 
     search = index_sub.add_parser(
         "search", help="search MGF queries against a persisted index"
@@ -157,6 +238,7 @@ def _add_index_parser(subparsers) -> None:
         default=512,
         help="queries searched per batch in jsonl streaming mode",
     )
+    _add_ann_arguments(search)
 
 
 def _add_serve_parser(subparsers) -> None:
@@ -228,6 +310,7 @@ def _add_serve_parser(subparsers) -> None:
         action="store_true",
         help="log one line per HTTP request",
     )
+    _add_ann_arguments(parser)
 
 
 def _add_experiment_parser(subparsers) -> None:
@@ -258,6 +341,7 @@ def _add_experiment_parser(subparsers) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level ``hdoms`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="hdoms",
         description=(
@@ -288,6 +372,7 @@ def _load_library(path: Path, no_decoys: bool, seed: int):
     simulator = SpectrumSimulator(seed=seed)
 
     def factory(peptide, charge, identifier):
+        """Generate one simulated decoy spectrum."""
         return simulator.spectrum(
             peptide, charge, identifier, noise=REFERENCE_NOISE
         )
@@ -312,6 +397,7 @@ def _write_psm_tsv(path: Path, accepted) -> None:
 
 
 def cmd_workload(args) -> int:
+    """Entry point for ``hdoms workload`` (synthetic workload generation)."""
     from .experiments.workloads import HEK293_LIKE, IPRG2012_LIKE
     from .ms.mgf import write_mgf
     from .ms.msp import write_msp
@@ -351,6 +437,7 @@ def cmd_workload(args) -> int:
 
 
 def cmd_search(args) -> int:
+    """Entry point for ``hdoms search`` (end-to-end open search + FDR)."""
     from .constants import DEFAULT_STANDARD_WINDOW_DA
     from .hdc.encoder import SpectrumEncoder
     from .hdc.spaces import HDSpace, HDSpaceConfig
@@ -428,6 +515,7 @@ def cmd_search(args) -> int:
 
 
 def cmd_index(args) -> int:
+    """Entry point for ``hdoms index`` (build/inspect/search indexes)."""
     if args.index_command == "build":
         return _cmd_index_build(args)
     if args.index_command == "search":
@@ -442,6 +530,11 @@ def _cmd_index_build(args) -> int:
     from .index import LibraryIndex
     from .ms.vectorize import BinningConfig
 
+    try:
+        ann = _ann_config_from_args(args)
+    except ValueError as error:
+        print(f"index build: {error}", file=sys.stderr)
+        return 2
     references = _load_library(args.library, args.no_decoys, args.seed)
     print(f"library (incl. decoys): {len(references)}")
     binning = BinningConfig()
@@ -458,6 +551,7 @@ def _cmd_index_build(args) -> int:
         binning=binning,
         chunk_size=args.chunk_size,
         source=str(args.library),
+        ann=ann,
     )
     build_seconds = time.perf_counter() - start
     saved = index.save(args.output)
@@ -535,6 +629,11 @@ def _cmd_index_search(args) -> int:
     if args.chunk_size < 1:
         print(f"--chunk-size must be >= 1, got {args.chunk_size}", file=sys.stderr)
         return 2
+    try:
+        ann = _ann_config_from_args(args)
+    except ValueError as error:
+        print(f"index search: {error}", file=sys.stderr)
+        return 2
     streaming = args.output_format == "jsonl"
     # When JSON lines go to stdout, keep it clean: say everything else
     # on stderr.
@@ -564,7 +663,7 @@ def _cmd_index_search(args) -> int:
         index,
         num_shards=args.shards,
         windows=windows,
-        config=HDSearchConfig(mode=args.mode),
+        config=HDSearchConfig(mode=args.mode, ann=ann),
         backend=args.backend,
         num_workers=args.workers,
     ) as searcher:
@@ -633,6 +732,7 @@ def _parse_index_routes(entries) -> dict:
 
 
 def cmd_serve(args) -> int:
+    """Entry point for ``hdoms serve`` (HTTP search service)."""
     from .constants import DEFAULT_STANDARD_WINDOW_DA
     from .service import ServiceConfig, serve
     from .service.server import ServiceStartupError
@@ -653,6 +753,7 @@ def cmd_serve(args) -> int:
             mode=args.mode,
             open_window_da=args.open_window,
             standard_tolerance_da=DEFAULT_STANDARD_WINDOW_DA,
+            ann=_ann_config_from_args(args),
         )
     except ValueError as error:
         print(f"serve: {error}", file=sys.stderr)
@@ -672,6 +773,7 @@ def cmd_serve(args) -> int:
 
 
 def cmd_experiment(args) -> int:
+    """Entry point for ``hdoms experiment`` (paper figure reproductions)."""
     from . import experiments as exp
 
     runners = {
@@ -700,6 +802,7 @@ def cmd_experiment(args) -> int:
 
 
 def cmd_info() -> int:
+    """Entry point for ``hdoms info`` (version and default parameters)."""
     from .constants import (
         DEFAULT_BIN_WIDTH,
         DEFAULT_FDR_THRESHOLD,
@@ -719,6 +822,7 @@ def cmd_info() -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Console-script entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     if args.command == "workload":
         return cmd_workload(args)

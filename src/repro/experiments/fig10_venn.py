@@ -31,8 +31,11 @@ from .workloads import iprg2012_like
 def venn_regions(
     set_a: Set[str], set_b: Set[str], set_c: Set[str]
 ) -> Dict[str, int]:
-    """Sizes of the 7 regions of a 3-set Venn diagram (a=ANN-SoLo,
-    b=HyperOMS, c=this work)."""
+    """Sizes of the 7 regions of a 3-set Venn diagram.
+
+    Convention: ``set_a`` = ANN-SoLo, ``set_b`` = HyperOMS, ``set_c`` =
+    this work.
+    """
     return {
         "only_annsolo": len(set_a - set_b - set_c),
         "only_hyperoms": len(set_b - set_a - set_c),
@@ -59,6 +62,7 @@ def run_fig10(
     )
 
     def identified(search_result) -> Set[str]:
+        """Peptide keys accepted at the FDR threshold for one searcher."""
         accepted = grouped_fdr(search_result.psms, fdr_threshold)
         return {psm.peptide_key for psm in accepted if psm.peptide_key}
 

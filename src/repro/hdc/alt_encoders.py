@@ -53,6 +53,7 @@ class RandomProjectionEncoder:
         ).astype(np.float32)
 
     def encode_vector(self, vector: SparseVector) -> np.ndarray:
+        """Encode one binned sparse vector into a bipolar hypervector."""
         if len(vector) == 0:
             return self.space.tiebreak.copy()
         projected = self._projection[:, vector.indices] @ vector.values.astype(
@@ -61,11 +62,13 @@ class RandomProjectionEncoder:
         return sign_with_tiebreak(projected.astype(np.float64), self.space.tiebreak)
 
     def encode(self, spectrum: Spectrum) -> np.ndarray:
+        """Encode one preprocessed spectrum."""
         return self.encode_vector(vectorize(spectrum, self.binning))
 
     def encode_batch(
         self, spectra: Sequence[Union[Spectrum, SparseVector]]
     ) -> np.ndarray:
+        """Encode many spectra; output rows align with the input order."""
         out = np.empty((len(spectra), self.space.dim), dtype=np.int8)
         for row, item in enumerate(spectra):
             if isinstance(item, SparseVector):
@@ -92,6 +95,7 @@ class PermutationEncoder:
         self.binning = binning
 
     def encode_vector(self, vector: SparseVector) -> np.ndarray:
+        """Encode one binned sparse vector into a bipolar hypervector."""
         if len(vector) == 0:
             return self.space.tiebreak.copy()
         levels, _ = quantize_intensities(vector.values, self.space.num_levels)
@@ -104,11 +108,13 @@ class PermutationEncoder:
         return sign_with_tiebreak(accumulator, self.space.tiebreak)
 
     def encode(self, spectrum: Spectrum) -> np.ndarray:
+        """Encode one preprocessed spectrum."""
         return self.encode_vector(vectorize(spectrum, self.binning))
 
     def encode_batch(
         self, spectra: Sequence[Union[Spectrum, SparseVector]]
     ) -> np.ndarray:
+        """Encode many spectra; output rows align with the input order."""
         out = np.empty((len(spectra), self.space.dim), dtype=np.int8)
         for row, item in enumerate(spectra):
             if isinstance(item, SparseVector):

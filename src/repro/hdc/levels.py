@@ -72,10 +72,12 @@ class ChunkedLevels:
 
     @property
     def num_levels(self) -> int:
+        """Number of quantisation levels in the table."""
         return self.chunk_values.shape[0]
 
     @property
     def num_chunks(self) -> int:
+        """Number of chunks each level vector is divided into."""
         return self.chunk_values.shape[1]
 
     @property

@@ -109,10 +109,12 @@ class HDSpace:
 
     @property
     def dim(self) -> int:
+        """Hypervector dimensionality."""
         return self.config.dim
 
     @property
     def num_levels(self) -> int:
+        """Number of intensity quantisation levels."""
         return self.config.num_levels
 
     def _make_id(self, bin_index: int) -> np.ndarray:

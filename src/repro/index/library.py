@@ -37,6 +37,7 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..ann import AnnConfig, HammingLSHIndex
 from ..hdc.encoder import SpectrumEncoder
 from ..hdc.packing import pack_bipolar, unpack_bipolar
 from ..hdc.spaces import HDSpace, HDSpaceConfig
@@ -145,7 +146,29 @@ class LibraryIndex:
         binning: BinningConfig,
         preprocessing: PreprocessingConfig,
         source: str = "",
+        ann: Optional[HammingLSHIndex] = None,
     ) -> None:
+        """Adopt ready-made arrays; prefer :meth:`build` / :meth:`load`.
+
+        Args:
+            packed: ``(n, ceil(dim / 8))`` uint8 bit-packed hypervectors.
+            dim: Unpacked hypervector dimensionality.
+            identifiers: Per-row spectrum identifiers.
+            peptide_keys: Per-row canonical peptide keys (None allowed).
+            is_decoy: Per-row decoy flags.
+            neutral_masses: Per-row neutral masses in Da.
+            charges: Per-row precursor charges.
+            space_config: HD space the rows were encoded in.
+            binning: Peak binning the rows were encoded with.
+            preprocessing: Preprocessing the rows went through.
+            source: Free-form origin string (provenance only).
+            ann: Optional pre-built Hamming-LSH tables over the same rows.
+
+        Raises:
+            ValueError: If array lengths or the packed width disagree.
+            IndexCompatibilityError: If ``ann`` covers different rows or
+                a different dimensionality than ``packed``.
+        """
         self.packed = packed
         self.dim = int(dim)
         self.identifiers = list(identifiers)
@@ -173,6 +196,12 @@ class LibraryIndex:
                 f"packed matrix has {packed.shape[1] if packed.ndim == 2 else '?'} "
                 f"words per row, expected {expected_words} for dim {self.dim}"
             )
+        if ann is not None and (ann.num_rows != n or ann.dim != self.dim):
+            raise IndexCompatibilityError(
+                f"ANN tables cover {ann.num_rows} rows at dim {ann.dim}, "
+                f"index holds {n} rows at dim {self.dim}"
+            )
+        self.ann = ann
 
     # ------------------------------------------------------------------
     # construction
@@ -188,6 +217,7 @@ class LibraryIndex:
         preprocessing: Optional[PreprocessingConfig] = None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         source: str = "",
+        ann: Optional[AnnConfig] = None,
     ) -> "LibraryIndex":
         """Encode *references* once into a reusable index.
 
@@ -198,6 +228,28 @@ class LibraryIndex:
         matches the charge-bucketed layout every searcher uses; rows are
         scattered back into library order so downstream results are
         bit-identical to encoding in place.
+
+        Args:
+            references: Library spectra (targets and decoys).
+            encoder: Ready spectrum encoder; built from ``space_config``
+                / ``binning`` when omitted.
+            space_config: HD space to encode in (ignored with ``encoder``).
+            binning: Peak binning config.
+            preprocessing: Spectrum preprocessing config.
+            chunk_size: Spectra encoded per fused batch call.
+            source: Free-form origin string stored in the provenance.
+            ann: When given, Hamming-LSH hash tables are built with this
+                configuration and persisted alongside the vectors by
+                :meth:`save`.
+
+        Returns:
+            The fully encoded, searchable index.
+
+        Raises:
+            ValueError: On bad ``chunk_size`` or when no reference
+                survives preprocessing.
+            IndexCompatibilityError: When ``encoder`` and ``binning``
+                disagree.
         """
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -246,7 +298,7 @@ class LibraryIndex:
                     [kept_processed[int(pos)] for pos in chunk]
                 )
 
-        return cls(
+        index = cls(
             packed=pack_bipolar(hypervectors),
             dim=encoder.space.dim,
             identifiers=[ref.identifier for ref in kept_originals],
@@ -263,6 +315,24 @@ class LibraryIndex:
             preprocessing=preprocessing,
             source=source,
         )
+        if ann is not None:
+            index.attach_ann(ann)
+        return index
+
+    def attach_ann(self, config: Optional[AnnConfig] = None) -> HammingLSHIndex:
+        """Build Hamming-LSH tables over this index's rows in place.
+
+        Args:
+            config: ANN knobs; defaults to :class:`~repro.ann.AnnConfig`.
+
+        Returns:
+            The freshly built tables (also stored as ``self.ann`` and
+            persisted by subsequent :meth:`save` calls).
+        """
+        self.ann = HammingLSHIndex.build(
+            np.asarray(self.packed), self.dim, config or AnnConfig()
+        )
+        return self.ann
 
     # ------------------------------------------------------------------
     # persistence
@@ -278,26 +348,41 @@ class LibraryIndex:
             "source": self.source,
             "num_references": self.num_references,
             "dim": self.dim,
+            "ann": self.ann.provenance() if self.ann is not None else None,
         }
 
     def save(self, path: Union[str, Path]) -> Path:
-        """Write the index as an uncompressed ``.npz`` (mmap-friendly)."""
+        """Write the index as an uncompressed ``.npz`` (mmap-friendly).
+
+        When ANN tables are attached (:meth:`attach_ann` or
+        ``build(..., ann=...)``), their arrays and provenance ride in
+        the same archive and are revalidated by :meth:`load`.
+
+        Args:
+            path: Destination path; ``.npz`` is appended when missing.
+
+        Returns:
+            The actual file written.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        np.savez(
-            path,
-            format_version=np.array(INDEX_FORMAT_VERSION, dtype=np.int64),
-            packed=np.ascontiguousarray(self.packed),
-            dim=np.array(self.dim, dtype=np.int64),
-            identifiers=np.array(self.identifiers),
-            peptide_keys=np.array(
+        members = {
+            "format_version": np.array(INDEX_FORMAT_VERSION, dtype=np.int64),
+            "packed": np.ascontiguousarray(self.packed),
+            "dim": np.array(self.dim, dtype=np.int64),
+            "identifiers": np.array(self.identifiers),
+            "peptide_keys": np.array(
                 [key if key is not None else "" for key in self.peptide_keys]
             ),
-            is_decoy=self.is_decoy,
-            neutral_masses=self.neutral_masses,
-            charges=self.charges,
-            provenance_json=np.array(json.dumps(self.provenance())),
-        )
+            "is_decoy": self.is_decoy,
+            "neutral_masses": self.neutral_masses,
+            "charges": self.charges,
+            "provenance_json": np.array(json.dumps(self.provenance())),
+        }
+        if self.ann is not None:
+            members.update(self.ann.to_arrays())
+            members["ann_json"] = np.array(json.dumps(self.ann.provenance()))
+        np.savez(path, **members)
         # np.savez appends ".npz" when missing; report the real file.
         return path if path.suffix == ".npz" else Path(str(path) + ".npz")
 
@@ -307,6 +392,21 @@ class LibraryIndex:
 
         ``mmap=False`` forces an eager in-memory read (useful when the
         file will be deleted while the index is still in use).
+        Persisted ANN tables are reloaded and revalidated against the
+        index (row count, dimensionality, format version).
+
+        Args:
+            path: Archive previously written by :meth:`save`.
+            mmap: Memory-map the packed matrix when possible.
+
+        Returns:
+            The reconstructed index.
+
+        Raises:
+            IndexCompatibilityError: If the archive is not a
+                LibraryIndex, its format version is unsupported, or its
+                ANN tables disagree with the index or their own
+                provenance.
         """
         path = Path(path)
         with np.load(path, allow_pickle=False) as archive:
@@ -335,6 +435,31 @@ class LibraryIndex:
             is_decoy = archive["is_decoy"]
             neutral_masses = archive["neutral_masses"]
             charges = archive["charges"]
+            ann = None
+            if "ann_json" in archive:
+                ann_provenance = json.loads(str(archive["ann_json"][()]))
+                try:
+                    ann = HammingLSHIndex.from_arrays(
+                        ann_provenance,
+                        {
+                            name: archive[name]
+                            for name in (
+                                "ann_bit_positions",
+                                "ann_sorted_keys",
+                                "ann_row_order",
+                            )
+                        },
+                    )
+                except (KeyError, TypeError, ValueError) as error:
+                    raise IndexCompatibilityError(
+                        f"persisted ANN tables are unusable: {error}"
+                    ) from None
+                if ann.num_rows != len(identifiers) or ann.dim != dim:
+                    raise IndexCompatibilityError(
+                        f"ANN tables cover {ann.num_rows} rows at dim "
+                        f"{ann.dim}, index holds {len(identifiers)} rows "
+                        f"at dim {dim}"
+                    )
         return cls(
             packed=packed,
             dim=dim,
@@ -347,6 +472,7 @@ class LibraryIndex:
             binning=BinningConfig(**provenance["binning"]),
             preprocessing=PreprocessingConfig(**provenance["preprocessing"]),
             source=provenance.get("source", ""),
+            ann=ann,
         )
 
     # ------------------------------------------------------------------
@@ -393,6 +519,7 @@ class LibraryIndex:
 
     @property
     def num_references(self) -> int:
+        """Number of reference rows stored in the index."""
         return len(self.identifiers)
 
     def __len__(self) -> int:
@@ -422,9 +549,15 @@ class LibraryIndex:
     def summary(self) -> str:
         """One-line human description (CLI / logging)."""
         decoys = int(self.is_decoy.sum())
+        ann_note = ""
+        if self.ann is not None:
+            ann_note = (
+                f", ANN {self.ann.config.num_tables}x"
+                f"{self.ann.config.bits_per_hash}b"
+            )
         return (
             f"LibraryIndex: {self.num_references} references "
             f"({decoys} decoys), D={self.dim}, "
             f"{self.nbytes() / 1024:.0f} KiB packed, "
-            f"charges {sorted(set(self.charges.tolist()))}"
+            f"charges {sorted(set(self.charges.tolist()))}{ann_note}"
         )

@@ -26,6 +26,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..ann import OUTCOMES, AnnStats, CandidatePrefilter, HammingLSHIndex
 from ..hdc.noise import flip_bits
 from ..hdc.packing import pack_bipolar, unpack_bipolar
 from ..ms.preprocessing import PreprocessingConfig, preprocess
@@ -91,6 +92,18 @@ class _ShardScorer:
         else:
             order = np.argsort(masses, kind="stable")
             self._buckets[0] = (masses[order], np.arange(len(masses))[order])
+        # Optional ANN prefilter: each shard hashes its *own* rows, so
+        # the shortlist union across shards is at least as inclusive as
+        # one global prefilter (every shard gets its full candidate
+        # budget).
+        self._local_masses = masses
+        self.prefilter: Optional[CandidatePrefilter] = None
+        ann = payload.get("ann")
+        if ann is not None:
+            lsh = HammingLSHIndex.build(packed, dim, ann)
+            self.prefilter = CandidatePrefilter(
+                lsh, masses, charges, charge_aware=self.charge_aware
+            )
 
     def score_batch(
         self,
@@ -98,19 +111,45 @@ class _ShardScorer:
         query_masses: np.ndarray,
         query_charges: np.ndarray,
         half_width: float,
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    ) -> Tuple[np.ndarray, ...]:
         """Best candidate per query within this shard.
 
-        Returns ``(counts, best_scores, best_masses, best_positions)``
-        where empty windows yield ``(0, -inf, +inf, -1)`` so they lose
-        every merge comparison.
+        Returns ``(counts, best_scores, best_masses, best_positions,
+        ann_outcomes, ann_scored_rows)`` where empty windows yield
+        ``(0, -inf, +inf, -1)`` so they lose every merge comparison.
+        ``counts`` holds full precursor-window sizes (even under ANN) so
+        ``min_candidates`` gating in the parent is unchanged;
+        ``ann_outcomes`` is a length-3 count vector in
+        :data:`repro.ann.OUTCOMES` order and ``ann_scored_rows`` the
+        rows actually scored (both all-zero without a prefilter).
         """
         num_queries = len(query_masses)
         counts = np.zeros(num_queries, dtype=np.int64)
         best_scores = np.full(num_queries, -np.inf, dtype=np.float64)
         best_masses = np.full(num_queries, np.inf, dtype=np.float64)
         best_positions = np.full(num_queries, -1, dtype=np.int64)
+        ann_outcomes = np.zeros(len(OUTCOMES), dtype=np.int64)
+        ann_scored = np.zeros(1, dtype=np.int64)
         for row in range(num_queries):
+            if self.prefilter is not None:
+                selection = self.prefilter.select(
+                    query_hvs[row],
+                    float(query_masses[row]),
+                    int(query_charges[row]),
+                    half_width,
+                )
+                ann_outcomes[OUTCOMES.index(selection.outcome)] += 1
+                ann_scored[0] += len(selection.positions)
+                if selection.window_count == 0:
+                    continue
+                window = selection.positions
+                scores = self.backend.scores(query_hvs[row], window)
+                best = int(np.argmax(scores))
+                counts[row] = selection.window_count
+                best_scores[row] = float(scores[best])
+                best_masses[row] = float(self._local_masses[window[best]])
+                best_positions[row] = int(self.global_positions[window[best]])
+                continue
             key = int(query_charges[row]) if self.charge_aware else 0
             bucket = self._buckets.get(key)
             if bucket is None:
@@ -131,7 +170,14 @@ class _ShardScorer:
             best_scores[row] = float(scores[best])
             best_masses[row] = float(sorted_masses[low + best])
             best_positions[row] = int(self.global_positions[window[best]])
-        return counts, best_scores, best_masses, best_positions
+        return (
+            counts,
+            best_scores,
+            best_masses,
+            best_positions,
+            ann_outcomes,
+            ann_scored,
+        )
 
 
 def _init_worker(payloads: List[Dict]) -> None:
@@ -212,6 +258,7 @@ class ShardedSearcher:
         self._num_workers = num_workers
         self._pool = None
         self._serial_scorers: Dict[int, _ShardScorer] = {}
+        self.ann_stats = AnnStats() if self.config.ann is not None else None
 
         self.references = index.records()
         packed = np.asarray(index.packed)
@@ -243,6 +290,7 @@ class ShardedSearcher:
                     "charges": self.index.charges[positions],
                     "backend": self._backend,
                     "charge_aware": self.windows.charge_aware,
+                    "ann": self.config.ann,
                 }
             )
         return payloads
@@ -295,11 +343,14 @@ class ShardedSearcher:
 
     @property
     def num_references(self) -> int:
+        """Total reference rows across all shards."""
         return len(self.references)
 
     @property
     def backend_name(self) -> str:
-        return f"sharded-{self._backend_label}x{self.num_shards}"
+        """Human-readable engine label (feeds logs and search results)."""
+        suffix = "+ann" if self.config.ann is not None else ""
+        return f"sharded-{self._backend_label}x{self.num_shards}{suffix}"
 
     def _score_all_shards(
         self,
@@ -307,7 +358,7 @@ class ShardedSearcher:
         query_masses: np.ndarray,
         query_charges: np.ndarray,
         half_width: float,
-    ) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+    ) -> List[Tuple[np.ndarray, ...]]:
         tasks = [
             (
                 payload["shard_id"],
@@ -344,6 +395,14 @@ class ShardedSearcher:
         per_shard = self._score_all_shards(
             query_hvs, query_masses, query_charges, half_width
         )
+        if self.ann_stats is not None:
+            # Shard workers pre-aggregate their outcome counts; one
+            # merge per shard keeps stats cheap across the process
+            # boundary.  Counts are per (query, shard) pair.
+            for shard in per_shard:
+                self.ann_stats.record_batch(
+                    shard[4], int(shard[0].sum()), int(shard[5][0])
+                )
         counts = np.stack([shard[0] for shard in per_shard])
         scores = np.stack([shard[1] for shard in per_shard])
         masses = np.stack([shard[2] for shard in per_shard])

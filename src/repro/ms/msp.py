@@ -93,6 +93,7 @@ def read_msp(source: Union[PathLike, TextIO]) -> Iterator[Spectrum]:
     in_entry = False
 
     def flush() -> Iterator[Spectrum]:
+        """Yield the entry parsed so far, validating its peak count."""
         nonlocal headers, peaks, expected_peaks, index, in_entry
         if in_entry:
             if expected_peaks >= 0 and len(peaks) != expected_peaks:

@@ -288,6 +288,7 @@ def build_workload(config: WorkloadConfig) -> SyntheticWorkload:
 
     def pick_charge(sequence: str) -> int:
         # Deterministic per-sequence charge so reference and query agree.
+        """Deterministic per-sequence precursor charge draw."""
         local = np.random.default_rng(_stable_hash(sequence) % (2**63))
         return int(local.choice(config.charges, p=charge_weights))
 

@@ -19,7 +19,9 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..ann import AnnConfig, AnnStats, CandidatePrefilter, HammingLSHIndex
 from ..hdc.noise import flip_bits
+from ..hdc.packing import pack_bipolar
 from ..ms.preprocessing import PreprocessingConfig, preprocess
 from ..ms.spectrum import Spectrum
 from .candidates import WindowConfig
@@ -48,7 +50,27 @@ class BatchedHDOmsSearcher:
         query_ber: float = 0.0,
         reference_ber: float = 0.0,
         noise_seed: int = 1234,
+        ann: Optional[AnnConfig] = None,
     ) -> None:
+        """Encode *references* and lay them out as charge buckets.
+
+        Args:
+            encoder: Object with ``encode_batch(spectra) -> (n, dim)``.
+            references: Library spectra (targets and decoys).
+            preprocessing: Spectrum preprocessing config.
+            windows: Precursor window config.
+            mode: ``"open"`` or ``"standard"``.
+            query_ber: Per-query random bit-flip rate.
+            reference_ber: Reference-side random bit-flip rate.
+            noise_seed: Seed of the bit-flip generator.
+            ann: Optional ANN prefilter config; when set, large windows
+                are shortlisted via Hamming LSH instead of the dense
+                matmul.
+
+        Raises:
+            ValueError: On unsupported ``mode`` or when no reference
+                survives preprocessing.
+        """
         if mode not in ("open", "standard"):
             raise ValueError(
                 f"batched search supports 'open'/'standard', got {mode!r}"
@@ -72,6 +94,7 @@ class BatchedHDOmsSearcher:
         if reference_ber > 0:
             hvs = flip_bits(hvs, reference_ber, self._noise_rng)
         self._build_buckets(hvs)
+        self._init_prefilter(ann, hvs)
 
     def _build_buckets(self, hvs: np.ndarray) -> None:
         """Charge buckets: references sorted by neutral mass within each.
@@ -97,6 +120,28 @@ class BatchedHDOmsSearcher:
                 "hvs": hvs[sorted_positions].astype(np.float32),
             }
 
+    def _init_prefilter(
+        self,
+        ann: Optional[AnnConfig],
+        hvs: np.ndarray,
+        persisted: Optional[HammingLSHIndex] = None,
+    ) -> None:
+        """Build (or adopt) the ANN prefilter when ``ann`` is set."""
+        self.ann_config = ann
+        self._prefilter: Optional[CandidatePrefilter] = None
+        self.ann_stats: Optional[AnnStats] = None
+        if ann is None:
+            return
+        lsh = persisted if persisted is not None and persisted.config == ann else None
+        if lsh is None:
+            lsh = HammingLSHIndex.build(pack_bipolar(hvs), hvs.shape[1], ann)
+        masses = np.array([ref.neutral_mass for ref in self.references])
+        charges = np.array([ref.precursor_charge for ref in self.references])
+        self._prefilter = CandidatePrefilter(
+            lsh, masses, charges, charge_aware=self.windows.charge_aware
+        )
+        self.ann_stats = AnnStats()
+
     @classmethod
     def from_index(
         cls,
@@ -107,12 +152,34 @@ class BatchedHDOmsSearcher:
         reference_ber: float = 0.0,
         noise_seed: int = 1234,
         encoder=None,
+        ann: Optional[AnnConfig] = None,
     ) -> "BatchedHDOmsSearcher":
         """Build the batched searcher from a persisted library index.
 
         Same amortisation as :meth:`HDOmsSearcher.from_index`: reference
         preprocessing and encoding are skipped, query preprocessing and
-        the encoder come from the index provenance.
+        the encoder come from the index provenance.  Persisted ANN
+        tables are reused when ``ann`` matches the config they were
+        built with and no reference-side bit errors are injected.
+
+        Args:
+            index: The persisted library index.
+            windows: Precursor window config.
+            mode: ``"open"`` or ``"standard"``.
+            query_ber: Per-query random bit-flip rate.
+            reference_ber: Reference-side random bit-flip rate.
+            noise_seed: Seed of the bit-flip generator.
+            encoder: Optional shared encoder (validated against the
+                index provenance).
+            ann: Optional ANN prefilter config.
+
+        Returns:
+            A ready-to-search batched searcher.
+
+        Raises:
+            ValueError: On unsupported ``mode``.
+            IndexCompatibilityError: If ``encoder`` disagrees with the
+                index provenance.
         """
         if mode not in ("open", "standard"):
             raise ValueError(
@@ -132,10 +199,14 @@ class BatchedHDOmsSearcher:
         if reference_ber > 0:
             hvs = flip_bits(hvs, reference_ber, searcher._noise_rng)
         searcher._build_buckets(hvs)
+        searcher._init_prefilter(
+            ann, hvs, persisted=index.ann if reference_ber == 0 else None
+        )
         return searcher
 
     @property
     def num_references(self) -> int:
+        """Number of library rows this searcher scores against."""
         return len(self.references)
 
     def _half_width(self) -> float:
@@ -185,6 +256,20 @@ class BatchedHDOmsSearcher:
         half_width = self._half_width()
         for charge, items in prepared.items():
             bucket = self._buckets[charge]
+            if self._prefilter is not None:
+                # ANN path: no dense (q, n) matmul — each query scores
+                # only its shortlist rows, gathered from the bucket by
+                # local rank (the prefilter and the bucket share the
+                # same stable mass ordering).
+                for order_key, query, query_hv in items:
+                    psm = self._search_prefiltered(
+                        bucket, query, query_hv, half_width
+                    )
+                    if psm is None:
+                        unmatched += 1
+                    else:
+                        indexed_psms.append((order_key, psm))
+                continue
             query_matrix = np.stack(
                 [hv for _, _, hv in items]
             ).astype(np.float32)
@@ -225,5 +310,41 @@ class BatchedHDOmsSearcher:
             num_queries=len(queries),
             num_unmatched=unmatched,
             elapsed_seconds=time.perf_counter() - start,
-            backend_name="batched-dense",
+            backend_name=(
+                "batched-dense+ann"
+                if self._prefilter is not None
+                else "batched-dense"
+            ),
+        )
+
+    def _search_prefiltered(
+        self,
+        bucket: Dict[str, np.ndarray],
+        query: Spectrum,
+        query_hv: np.ndarray,
+        half_width: float,
+    ) -> Optional[PSM]:
+        """Score one query against its ANN shortlist rows only."""
+        selection = self._prefilter.select(
+            query_hv, query.neutral_mass, query.precursor_charge, half_width
+        )
+        self.ann_stats.record(
+            selection.outcome, selection.window_count, len(selection.positions)
+        )
+        if selection.window_count == 0:
+            return None
+        rows = bucket["hvs"][selection.ranks]
+        scores = rows @ query_hv.astype(np.float32)
+        best = int(np.argmax(scores))
+        position = int(selection.positions[best])
+        reference = self.references[position]
+        return PSM(
+            query_id=query.identifier,
+            reference_id=reference.identifier,
+            peptide_key=reference.peptide_key(),
+            score=float(scores[best]),
+            is_decoy=reference.is_decoy,
+            precursor_mass_difference=query.neutral_mass
+            - reference.neutral_mass,
+            mode=self.mode,
         )

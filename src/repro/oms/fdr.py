@@ -73,6 +73,7 @@ def grouped_fdr(
     """
     if group_key is None:
         def group_key(psm):
+            """Default grouping: open vs standard PSMs."""
             return "open" if psm.is_modified_match else "standard"
     groups: Dict[str, List[PSM]] = {}
     for psm in psms:

@@ -33,6 +33,7 @@ class DeltaMassPeak:
 
     @property
     def is_annotated(self) -> bool:
+        """Whether the mass shift matched a known modification."""
         return self.annotation is not None
 
 

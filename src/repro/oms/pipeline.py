@@ -71,6 +71,7 @@ def decoy_factory_for(workload: SyntheticWorkload) -> Callable:
     simulator = SpectrumSimulator(seed=workload.config.seed)
 
     def factory(peptide, charge, identifier) -> Spectrum:
+        """Generate one simulated decoy spectrum."""
         return simulator.spectrum(
             peptide, charge, identifier, noise=REFERENCE_NOISE
         )

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, List, Optional, Protocol, Sequence
 
 import numpy as np
 
+from ..ann import AnnConfig, AnnStats, CandidatePrefilter, HammingLSHIndex
 from ..hdc.encoder import SpectrumEncoder
 from ..hdc.noise import flip_bits
 from ..hdc.packing import pack_bipolar, popcount
@@ -78,9 +79,11 @@ class DenseBackend:
         self._refs: Optional[np.ndarray] = None
 
     def prepare(self, reference_hvs: np.ndarray) -> None:
+        """Stage the reference matrix for repeated scoring."""
         self._refs = reference_hvs.astype(np.float32)
 
     def scores(self, query_hv: np.ndarray, positions: np.ndarray) -> np.ndarray:
+        """Similarity scores of ``query_hv`` against rows at ``positions``."""
         if self._refs is None:
             raise RuntimeError("backend not prepared")
         query = query_hv.astype(np.float32)
@@ -104,6 +107,7 @@ class PackedBackend:
         self._dim: int = 0
 
     def prepare(self, reference_hvs: np.ndarray) -> None:
+        """Stage the float32 copy of the reference matrix."""
         self._dim = reference_hvs.shape[1]
         self._packed = pack_bipolar(reference_hvs)
 
@@ -117,6 +121,7 @@ class PackedBackend:
         self._packed = np.asarray(packed)
 
     def scores(self, query_hv: np.ndarray, positions: np.ndarray) -> np.ndarray:
+        """Similarity scores of ``query_hv`` against rows at ``positions``."""
         if self._packed is None:
             raise RuntimeError("backend not prepared")
         packed_query = pack_bipolar(query_hv[np.newaxis, :])[0]
@@ -134,6 +139,12 @@ class HDSearchConfig:
     ``"cascade"`` (standard first, open only when the narrow window
     yields nothing).  ``query_ber`` / ``reference_ber`` inject random
     sign flips into query/stored hypervectors (Figure 11's x-axis).
+
+    ``ann`` (optional :class:`~repro.ann.AnnConfig`) enables the
+    Hamming-LSH candidate prefilter: windows of at least
+    ``ann.ann_threshold`` rows are shortlisted approximately and only
+    the shortlist is scored exactly.  ``min_candidates`` always gates
+    on the *full* window size, not the shortlist size.
     """
 
     mode: str = "open"
@@ -141,8 +152,10 @@ class HDSearchConfig:
     reference_ber: float = 0.0
     noise_seed: int = 1234
     min_candidates: int = 1
+    ann: Optional[AnnConfig] = None
 
     def __post_init__(self) -> None:
+        """Validate mode and bit-error rates."""
         if self.mode not in ("open", "standard", "cascade"):
             raise ValueError(f"unknown search mode {self.mode!r}")
         for rate in (self.query_ber, self.reference_ber):
@@ -200,6 +213,7 @@ class HDOmsSearcher:
         self.reference_hvs = reference_hvs
         self.backend.prepare(reference_hvs)
         self.index = CandidateIndex(self.references, self.windows)
+        self._init_prefilter()
 
     @classmethod
     def from_index(
@@ -238,10 +252,43 @@ class HDOmsSearcher:
         searcher.reference_hvs = reference_hvs
         searcher.backend.prepare(reference_hvs)
         searcher.index = CandidateIndex(searcher.references, searcher.windows)
+        searcher._init_prefilter(index=index)
         return searcher
+
+    def _init_prefilter(self, index: Optional["LibraryIndex"] = None) -> None:
+        """Build (or adopt) the ANN prefilter when ``config.ann`` is set.
+
+        Persisted hash tables from ``index`` are reused when they were
+        built with the same :class:`~repro.ann.AnnConfig` and no
+        reference-side bit errors are injected; otherwise fresh tables
+        are hashed from the (possibly noisy) reference hypervectors.
+        """
+        self._prefilter: Optional[CandidatePrefilter] = None
+        self.ann_stats: Optional[AnnStats] = None
+        ann = self.config.ann
+        if ann is None:
+            return
+        lsh: Optional[HammingLSHIndex] = None
+        if (
+            index is not None
+            and self.config.reference_ber == 0
+            and index.ann is not None
+            and index.ann.config == ann
+        ):
+            lsh = index.ann
+        if lsh is None:
+            packed = pack_bipolar(self.reference_hvs)
+            lsh = HammingLSHIndex.build(packed, self.reference_hvs.shape[1], ann)
+        masses = np.array([ref.neutral_mass for ref in self.references])
+        charges = np.array([ref.precursor_charge for ref in self.references])
+        self._prefilter = CandidatePrefilter(
+            lsh, masses, charges, charge_aware=self.windows.charge_aware
+        )
+        self.ann_stats = AnnStats()
 
     @property
     def num_references(self) -> int:
+        """Number of library rows this searcher scores against."""
         return len(self.references)
 
     def _candidates(self, query: Spectrum, mode: str) -> np.ndarray:
@@ -249,10 +296,37 @@ class HDOmsSearcher:
             return self.index.select_standard(query)
         return self.index.select_open(query)
 
+    def _select(
+        self, query: Spectrum, query_hv: np.ndarray, mode: str
+    ) -> tuple:
+        """Positions to score plus the full window size for one query."""
+        if self._prefilter is None:
+            positions = self._candidates(query, mode)
+            return positions, len(positions)
+        half_width = (
+            self.windows.standard_tolerance_da
+            if mode == "standard"
+            else self.windows.open_window_da
+        )
+        selection = self._prefilter.select(
+            query_hv, query.neutral_mass, query.precursor_charge, half_width
+        )
+        self.ann_stats.record(
+            selection.outcome, selection.window_count, len(selection.positions)
+        )
+        return selection.positions, selection.window_count
+
     def _best_psm(
-        self, query: Spectrum, query_hv: np.ndarray, positions: np.ndarray, mode: str
+        self,
+        query: Spectrum,
+        query_hv: np.ndarray,
+        positions: np.ndarray,
+        mode: str,
+        window_count: Optional[int] = None,
     ) -> Optional[PSM]:
-        if len(positions) < self.config.min_candidates:
+        if window_count is None:
+            window_count = len(positions)
+        if window_count < self.config.min_candidates or len(positions) == 0:
             return None
         scores = self.backend.scores(query_hv, positions)
         best = int(np.argmax(scores))
@@ -274,16 +348,15 @@ class HDOmsSearcher:
         if self.config.query_ber > 0:
             query_hv = flip_bits(query_hv, self.config.query_ber, self._noise_rng)
         if self.config.mode == "cascade":
-            psm = self._best_psm(
-                query, query_hv, self._candidates(query, "standard"), "standard"
-            )
+            positions, window = self._select(query, query_hv, "standard")
+            psm = self._best_psm(query, query_hv, positions, "standard", window)
             if psm is not None:
                 return psm
-            return self._best_psm(
-                query, query_hv, self._candidates(query, "open"), "open"
-            )
+            positions, window = self._select(query, query_hv, "open")
+            return self._best_psm(query, query_hv, positions, "open", window)
         mode = self.config.mode
-        return self._best_psm(query, query_hv, self._candidates(query, mode), mode)
+        positions, window = self._select(query, query_hv, mode)
+        return self._best_psm(query, query_hv, positions, mode, window)
 
     def search_one(self, query: Spectrum) -> Optional[PSM]:
         """Search a single query; None when preprocessing/candidates fail."""

@@ -31,6 +31,7 @@ class ADCConfig:
 
     @property
     def num_codes(self) -> int:
+        """Number of distinct ADC output codes (``2**bits``)."""
         return 2**self.bits
 
     @property

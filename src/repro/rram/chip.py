@@ -34,6 +34,7 @@ class ChipInventory:
 
     @property
     def total_cells(self) -> int:
+        """Total MLC cells across every crossbar on the chip."""
         return self.storage_cells + self.compute_cells
 
 

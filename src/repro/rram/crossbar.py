@@ -74,6 +74,7 @@ class CrossbarConfig:
         return self.rows // 2
 
     def adc_config(self) -> ADCConfig:
+        """ADC configuration matched to this crossbar's voltage range."""
         return ADCConfig(
             bits=self.adc_bits,
             v_min=self.v_ref - self.v_pulse,
@@ -160,6 +161,7 @@ class CrossbarArray:
 
     @property
     def num_outputs(self) -> int:
+        """Number of output columns the array drives."""
         return 0 if self._weights is None else self._weights.shape[1]
 
     def program(self, weights: np.ndarray, w_max: Optional[float] = None) -> None:

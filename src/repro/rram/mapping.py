@@ -29,6 +29,7 @@ class TileShape:
 
     @property
     def num_tiles(self) -> int:
+        """Number of crossbar tiles used by the mapping."""
         return self.row_tiles * self.col_tiles
 
 
@@ -91,6 +92,7 @@ class TiledMatrix:
 
     @property
     def num_tiles(self) -> int:
+        """Number of crossbar tiles used by the mapping."""
         return len(self._tiles)
 
     def mvm(self, inputs: np.ndarray) -> np.ndarray:

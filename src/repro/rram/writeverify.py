@@ -62,10 +62,12 @@ class WriteVerifyResult:
 
     @property
     def mean_iterations(self) -> float:
+        """Mean write-verify iterations per programmed cell."""
         return float(self.iterations.mean()) if self.iterations.size else 0.0
 
     @property
     def convergence_rate(self) -> float:
+        """Fraction of cells that converged within the iteration budget."""
         return float(self.converged.mean()) if self.converged.size else 1.0
 
     def energy_pj(self, config: WriteVerifyConfig) -> float:

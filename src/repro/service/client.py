@@ -159,25 +159,35 @@ class SearchClient:
         index_path: Union[str, Path, None] = None,
         route: Optional[str] = None,
         remove: bool = False,
+        ann: Optional[bool] = None,
     ) -> dict:
-        """Hot-swap, add, or remove one route without draining others.
+        """Hot-swap, add, remove, or re-tune one route without draining others.
 
         * no arguments — reload the client's (or server's default)
           route in place from its original path;
         * ``index_path`` — swap that route's index from a new file, or
           **add** a brand-new route when ``route`` names one the server
           does not serve yet;
-        * ``remove=True`` — detach ``route`` and close it gracefully.
+        * ``remove=True`` — detach ``route`` and close it gracefully;
+        * ``ann=True`` / ``ann=False`` — toggle the route's Hamming-LSH
+          candidate prefilter on its already-loaded index (mutually
+          exclusive with the other forms).
         """
         if remove and index_path is not None:
             # Mirror the server's 400 instead of silently dropping the
             # path and removing the route anyway.
             raise ValueError("remove=True and index_path are mutually exclusive")
+        if ann is not None and (remove or index_path is not None):
+            raise ValueError(
+                "ann is mutually exclusive with index_path and remove"
+            )
         payload: dict = {}
         resolved = self._resolve_route(route)
         if resolved is not None:
             payload["route"] = resolved
-        if remove:
+        if ann is not None:
+            payload["ann"] = ann
+        elif remove:
             payload["remove"] = True
         elif index_path is not None:
             payload["index"] = str(index_path)

@@ -54,6 +54,21 @@ LATENCY_BUCKETS: Tuple[float, ...] = (
 #: Buckets for micro-batch sizes (spectra per flush).
 BATCH_SIZE_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
 
+#: Buckets for the ANN candidate ratio (scored rows / window rows) —
+#: 0.01 means the prefilter cut 99% of the exact-scoring work.
+RATIO_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+)
+
 
 def _escape_label_value(value: str) -> str:
     return (
@@ -115,6 +130,7 @@ class _Metric:
         ]
 
     def render(self) -> List[str]:  # pragma: no cover - overridden
+        """Render the exposition lines (implemented by subclasses)."""
         raise NotImplementedError
 
 
@@ -128,6 +144,7 @@ class Counter(_Metric):
         self._values: Dict[Tuple[str, ...], float] = {}
 
     def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (>= 0) to the labelled child."""
         if amount < 0:
             raise ValueError(f"counters only go up, got {amount}")
         key = self._key(labels)
@@ -135,11 +152,13 @@ class Counter(_Metric):
             self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels: str) -> float:
+        """Current value of the labelled child."""
         key = self._key(labels)
         with self._lock:
             return self._values.get(key, 0.0)
 
     def render(self) -> List[str]:
+        """Render the counter in Prometheus text format."""
         with self._lock:
             items = sorted(self._values.items())
         lines = self._header()
@@ -179,6 +198,7 @@ class Histogram(_Metric):
         self._sums: Dict[Tuple[str, ...], float] = {}
 
     def observe(self, value: float, **labels: str) -> None:
+        """Record one observation into the labelled histogram."""
         key = self._key(labels)
         value = float(value)
         with self._lock:
@@ -205,6 +225,7 @@ class Histogram(_Metric):
             return {"count": sum(counts), "sum": self._sums[key]}
 
     def render(self) -> List[str]:
+        """Render the histogram in Prometheus text format."""
         with self._lock:
             items = sorted(
                 (key, list(counts), self._sums[key])
@@ -250,6 +271,7 @@ class MetricsRegistry:
         self._metrics: List[_Metric] = []
 
     def register(self, metric: _Metric) -> _Metric:
+        """Register ``metric`` and return it."""
         with self._lock:
             if any(m.name == metric.name for m in self._metrics):
                 raise ValueError(f"metric {metric.name!r} already registered")
@@ -259,6 +281,7 @@ class MetricsRegistry:
     def counter(
         self, name: str, help: str, labelnames: Sequence[str] = ()
     ) -> Counter:
+        """Create, register, and return a labelled counter."""
         return self.register(Counter(name, help, labelnames))
 
     def histogram(
@@ -268,6 +291,7 @@ class MetricsRegistry:
         labelnames: Sequence[str] = (),
         buckets: Sequence[float] = LATENCY_BUCKETS,
     ) -> Histogram:
+        """Create, register, and return a labelled histogram."""
         return self.register(Histogram(name, help, labelnames, buckets))
 
     def __iter__(self) -> Iterable[_Metric]:
@@ -336,11 +360,37 @@ class ServiceMetrics:
             "End-to-end request latency (cache hits included), by route.",
             ("route",),
         )
+        self.ann_queries = self.registry.counter(
+            "hdoms_service_ann_queries_total",
+            "ANN prefilter decisions, by route and outcome "
+            "(bypass/prefiltered/fallback).",
+            ("route", "outcome"),
+        )
+        self.ann_window_rows = self.registry.counter(
+            "hdoms_service_ann_window_rows_total",
+            "Precursor-window rows a brute-force search would have "
+            "scored, by route.",
+            ("route",),
+        )
+        self.ann_scored_rows = self.registry.counter(
+            "hdoms_service_ann_scored_rows_total",
+            "Rows actually scored after the ANN prefilter, by route.",
+            ("route",),
+        )
+        self.ann_candidate_ratio = self.registry.histogram(
+            "hdoms_service_ann_candidate_ratio",
+            "Per-batch scored/window row ratio after the ANN prefilter, "
+            "by route (1.0 = no pruning).",
+            ("route",),
+            buckets=RATIO_BUCKETS,
+        )
 
     def for_route(self, route: str) -> "RouteMetrics":
+        """A pre-bound per-route view (see :class:`RouteMetrics`)."""
         return RouteMetrics(self, route)
 
     def render(self) -> str:
+        """The full Prometheus text payload for ``/metrics``."""
         return self.registry.render()
 
 
@@ -358,12 +408,15 @@ class RouteMetrics:
         self.route = route
 
     def observe_request(self, endpoint: str) -> None:
+        """Count one request to ``endpoint``."""
         self.parent.requests.inc(route=self.route, endpoint=endpoint)
 
     def observe_latency(self, seconds: float) -> None:
+        """Record one end-to-end request latency."""
         self.parent.latency.observe(seconds, route=self.route)
 
     def observe_reload(self) -> None:
+        """Count one successful engine reload."""
         self.parent.reloads.inc(route=self.route)
 
     def cache_event(self, event: str) -> None:
@@ -380,3 +433,32 @@ class RouteMetrics:
         self.parent.batch_wait.observe(
             wait_seconds / size if size else 0.0, route=self.route
         )
+
+    def observe_ann(self, delta: Dict[str, int]) -> None:
+        """Record one batch's ANN counter increments.
+
+        ``delta`` uses the :meth:`~repro.ann.AnnStats.snapshot` keys
+        (``bypassed`` / ``prefiltered`` / ``fallbacks`` / ``window_rows``
+        / ``scored_rows``); the candidate-ratio histogram gets one
+        sample per batch that touched at least one window row.
+        """
+        outcomes = (
+            ("bypassed", "bypass"),
+            ("prefiltered", "prefiltered"),
+            ("fallbacks", "fallback"),
+        )
+        for key, outcome in outcomes:
+            count = delta.get(key, 0)
+            if count > 0:
+                self.parent.ann_queries.inc(
+                    count, route=self.route, outcome=outcome
+                )
+        window_rows = delta.get("window_rows", 0)
+        scored_rows = delta.get("scored_rows", 0)
+        if window_rows > 0:
+            self.parent.ann_window_rows.inc(window_rows, route=self.route)
+            self.parent.ann_candidate_ratio.observe(
+                scored_rows / window_rows, route=self.route
+            )
+        if scored_rows > 0:
+            self.parent.ann_scored_rows.inc(scored_rows, route=self.route)

@@ -186,6 +186,7 @@ class IndexRegistry:
             return service
 
     def route_names(self) -> List[str]:
+        """Sorted names of the currently served routes."""
         with self._lock:
             return sorted(self._services)
 
@@ -320,9 +321,10 @@ class IndexRegistry:
         return self.metrics.render()
 
     def close_added_routes(self, timeout: Optional[float] = None) -> None:
-        """Close every route the registry itself created, keeping the
-        externally-owned ones (the adopted service of
-        :meth:`from_service`) untouched.
+        """Close every route the registry itself created.
+
+        Externally-owned routes (the adopted service of
+        :meth:`from_service`) are left untouched.
 
         This is the shutdown hook for servers built from a bare
         :class:`SearchService`: routes hot-added over ``/reload`` have

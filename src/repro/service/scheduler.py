@@ -42,10 +42,12 @@ class SchedulerStats:
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record_submit(self, count: int = 1) -> None:
+        """Count ``count`` spectra submitted to the batcher."""
         with self._lock:
             self.requests += count
 
     def record_flush(self, size: int, reason: str, wait_seconds: float) -> None:
+        """Record one flushed batch (size, trigger reason, queue wait)."""
         with self._lock:
             self.batches += 1
             self.total_batched += size
@@ -59,6 +61,7 @@ class SchedulerStats:
                 self.drain_flushes += 1
 
     def snapshot(self) -> Dict[str, float]:
+        """Point-in-time copy of the counters as plain floats."""
         with self._lock:
             return {
                 "requests": self.requests,

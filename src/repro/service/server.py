@@ -25,8 +25,9 @@ stdlib ``ThreadingHTTPServer`` JSON API:
 ``/healthz``              GET   liveness + per-route index summaries
 ``/stats``                GET   cache / scheduler / latency counters
 ``/metrics``              GET   Prometheus text exposition
-``/reload``               POST  add / swap / remove one route, others
-                                keep serving undisturbed
+``/reload``               POST  add / swap / remove one route or toggle
+                                its ANN prefilter; others keep serving
+                                undisturbed
 ========================  ====  ==========================================
 
 ``/search`` and ``/search_batch`` accept an optional ``route`` field
@@ -52,6 +53,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..ann import AnnConfig
 from ..constants import DEFAULT_OPEN_WINDOW_DA, DEFAULT_STANDARD_WINDOW_DA
 from ..index.library import LibraryIndex
 from ..index.sharded import ShardedSearcher
@@ -82,6 +84,12 @@ class ServiceConfig:
     whenever the configuration allows it, and falls back to the sharded
     searcher for cascade mode, packed backends, or ``num_shards > 1``.
     Every engine choice returns bit-identical PSMs.
+
+    ``ann`` (optional :class:`~repro.ann.AnnConfig`) turns on the
+    Hamming-LSH candidate prefilter for this route's engine; results
+    become approximate (see ``docs/ann-tuning.md``) and the cache
+    fingerprint changes, so toggling it can never serve stale exact
+    results for approximate requests or vice versa.
     """
 
     max_batch: int = 32
@@ -95,8 +103,10 @@ class ServiceConfig:
     open_window_da: float = DEFAULT_OPEN_WINDOW_DA
     standard_tolerance_da: float = DEFAULT_STANDARD_WINDOW_DA
     charge_aware: bool = True
+    ann: Optional[AnnConfig] = None
 
     def __post_init__(self) -> None:
+        """Fail fast on any inconsistent knob combination."""
         if self.engine not in ("auto", "batched", "sharded"):
             raise ValueError(f"unknown engine {self.engine!r}")
         if self.mode not in ("open", "standard", "cascade"):
@@ -127,6 +137,7 @@ class ServiceConfig:
             )
 
     def windows(self) -> WindowConfig:
+        """The precursor-window config the engines search with."""
         return WindowConfig(
             standard_tolerance_da=self.standard_tolerance_da,
             open_window_da=self.open_window_da,
@@ -134,7 +145,8 @@ class ServiceConfig:
         )
 
     def search_config(self) -> HDSearchConfig:
-        return HDSearchConfig(mode=self.mode)
+        """The search-stage config (mode + ANN) the engines run with."""
+        return HDSearchConfig(mode=self.mode, ann=self.ann)
 
 
 #: How long a reload may wait for the in-flight batch before giving up
@@ -195,6 +207,11 @@ class SearchService:
         # stale result can never be stored after the clear ran.
         self._swap_lock = threading.Lock()
         self._generation = 0
+        # Remember the last concrete ANN config so set_ann(True) after a
+        # set_ann(False) re-enables the same knobs, not the defaults.
+        self._last_ann: Optional[AnnConfig] = self.config.ann
+        self._ann_generation = -1
+        self._ann_last: Dict[str, int] = {}
         self._engine, self._engine_label, self._fingerprint = self._build_engine(
             self.index
         )
@@ -221,38 +238,44 @@ class SearchService:
     # engine construction / batch execution
     # ------------------------------------------------------------------
 
-    def _engine_kind(self) -> str:
-        if self.config.engine != "auto":
-            return self.config.engine
+    def _engine_kind(self, config: Optional[ServiceConfig] = None) -> str:
+        config = config or self.config
+        if config.engine != "auto":
+            return config.engine
         if (
-            self.config.mode in ("open", "standard")
-            and self.config.num_shards == 1
-            and self.config.backend == "dense"
+            config.mode in ("open", "standard")
+            and config.num_shards == 1
+            and config.backend == "dense"
             # Asking for workers (N > 0, or None = one per CPU) is an
             # explicit request for the process pool — honour it rather
             # than silently serving in-process.
-            and self.config.num_workers == 0
+            and config.num_workers == 0
         ):
             return "batched"
         return "sharded"
 
-    def _build_engine(self, index: LibraryIndex):
+    def _build_engine(
+        self, index: LibraryIndex, config: Optional[ServiceConfig] = None
+    ):
         """Build the warm searcher + the cache fingerprint for it."""
-        windows = self.config.windows()
-        search_config = self.config.search_config()
-        if self._engine_kind() == "batched":
+        config = config or self.config
+        windows = config.windows()
+        search_config = config.search_config()
+        if self._engine_kind(config) == "batched":
             engine = BatchedHDOmsSearcher.from_index(
-                index, windows=windows, mode=self.config.mode
+                index, windows=windows, mode=config.mode, ann=config.ann
             )
-            label = "batched-dense"
+            label = (
+                "batched-dense+ann" if config.ann is not None else "batched-dense"
+            )
         else:
             engine = ShardedSearcher(
                 index,
-                num_shards=self.config.num_shards,
+                num_shards=config.num_shards,
                 windows=windows,
                 config=search_config,
-                backend=self.config.backend,
-                num_workers=self.config.num_workers,
+                backend=config.backend,
+                num_workers=config.num_workers,
             )
             label = engine.backend_name
         fingerprint = config_fingerprint(
@@ -284,6 +307,14 @@ class SearchService:
             fingerprint = self._fingerprint
             generation = self._generation
             result = self._engine.search(renamed)
+            # Cumulative engine counters, captured while no other batch
+            # can run: successive snapshots of one generation are
+            # monotone, so per-batch deltas are well defined.
+            ann_stats = getattr(self._engine, "ann_stats", None)
+            ann_snapshot = (
+                ann_stats.snapshot() if ann_stats is not None else None
+            )
+        self._observe_ann(ann_snapshot, generation)
         by_position = {psm.query_id: psm for psm in result.psms}
         out: List[Tuple[Optional[PSM], str, int]] = []
         for position, spectrum in enumerate(batch):
@@ -292,6 +323,30 @@ class SearchService:
                 psm = dataclasses.replace(psm, query_id=spectrum.identifier)
             out.append((psm, fingerprint, generation))
         return out
+
+    def _observe_ann(
+        self, snapshot: Optional[Dict[str, int]], generation: int
+    ) -> None:
+        """Feed one batch's ANN counter delta into the route metrics.
+
+        Engines report *cumulative* counters; Prometheus counters want
+        increments.  The last-seen snapshot is keyed by engine
+        generation so a reload / ANN toggle (fresh engine, counters back
+        at zero) restarts the delta baseline instead of producing
+        negative increments.
+        """
+        if snapshot is None:
+            return
+        with self._stats_lock:
+            if generation != self._ann_generation:
+                self._ann_generation = generation
+                self._ann_last = {}
+            delta = {
+                key: value - self._ann_last.get(key, 0)
+                for key, value in snapshot.items()
+            }
+            self._ann_last = dict(snapshot)
+        self._route_metrics.observe_ann(delta)
 
     # ------------------------------------------------------------------
     # request API
@@ -349,8 +404,11 @@ class SearchService:
         return self.search_one_detailed(spectrum)[0]
 
     def search_many(self, spectra: Sequence[Spectrum]) -> List[Optional[PSM]]:
-        """Search several spectra; the whole list enters the scheduler
-        at once, so it typically runs as one vectorized batch."""
+        """Search several spectra in one submission.
+
+        The whole list enters the scheduler at once, so it typically
+        runs as one vectorized batch.
+        """
         started = time.perf_counter()
         with self._stats_lock:
             self._batch_requests += 1
@@ -455,25 +513,116 @@ class SearchService:
             old_engine.close()
         return new_index.summary()
 
+    def set_ann(
+        self, enabled: bool, ann: Optional[AnnConfig] = None
+    ) -> str:
+        """Toggle the ANN prefilter on the live engine; returns its label.
+
+        Re-enabling without an explicit ``ann`` restores the last
+        concrete :class:`~repro.ann.AnnConfig` this route ran with (the
+        startup config, or whatever a previous ``set_ann`` installed),
+        falling back to the defaults if there never was one.  The swap
+        follows :meth:`reload` exactly — built off to the side, queued
+        requests never dropped, cache cleared under the generation bump
+        — because the cache fingerprint changes with the ANN setting.
+
+        Args:
+            enabled: Whether the rebuilt engine should prefilter.
+            ann: Optional explicit config when enabling.
+
+        Returns:
+            The new engine label (e.g. ``"batched-dense+ann"``).
+
+        Raises:
+            RuntimeError: If the service is closed or the in-flight
+                batch does not finish within ``ENGINE_SWAP_TIMEOUT``.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        target = (ann or self._last_ann or AnnConfig()) if enabled else None
+        new_config = dataclasses.replace(self.config, ann=target)
+        if new_config == self.config:
+            return self._engine_label
+        index = self.index
+        new_engine, new_label, new_fingerprint = self._build_engine(
+            index, config=new_config
+        )
+        if not self._engine_lock.acquire(timeout=ENGINE_SWAP_TIMEOUT):
+            if hasattr(new_engine, "close"):
+                new_engine.close()
+            raise RuntimeError(
+                "ANN toggle timed out waiting for the in-flight batch "
+                f"({ENGINE_SWAP_TIMEOUT}s); is the engine wedged?"
+            )
+        try:
+            with self._swap_lock:
+                if self._closed:
+                    aborted_engine = new_engine
+                else:
+                    aborted_engine = None
+                    old_engine = self._engine
+                    self._engine = new_engine
+                    self._engine_label = new_label
+                    self._fingerprint = new_fingerprint
+                    self._generation += 1
+                    self.config = new_config
+                    if target is not None:
+                        self._last_ann = target
+                    self.cache.clear()
+        finally:
+            self._engine_lock.release()
+        if aborted_engine is not None:
+            if hasattr(aborted_engine, "close"):
+                aborted_engine.close()
+            raise RuntimeError("service is closed")
+        with self._stats_lock:
+            self._reloads += 1
+        self._route_metrics.observe_reload()
+        if hasattr(old_engine, "close"):
+            old_engine.close()
+        return new_label
+
     # ------------------------------------------------------------------
     # introspection / lifecycle
     # ------------------------------------------------------------------
 
     @property
     def engine_name(self) -> str:
+        """Human-readable label of the engine currently serving requests."""
         return self._engine_label
 
     def healthz(self) -> Dict[str, object]:
+        """Liveness payload: index summary, engine label, ANN flag."""
         return {
             "status": "ok",
             "route": self.route,
             "index": self.index.summary(),
             "num_references": self.index.num_references,
             "engine": self.engine_name,
+            "ann": self.config.ann is not None,
             "uptime_seconds": round(time.time() - self._started, 3),
         }
 
+    def _ann_section(self) -> Dict[str, object]:
+        """The ANN block of :meth:`stats` (present even when disabled)."""
+        with self._swap_lock:
+            engine = self._engine
+        ann_stats = getattr(engine, "ann_stats", None)
+        if ann_stats is None:
+            return {"enabled": False}
+        section: Dict[str, object] = {"enabled": True}
+        snapshot = ann_stats.snapshot()
+        section.update(snapshot)
+        window_rows = snapshot["window_rows"]
+        section["candidate_ratio"] = (
+            round(snapshot["scored_rows"] / window_rows, 6)
+            if window_rows
+            else None
+        )
+        return section
+
     def stats(self) -> Dict[str, object]:
+        """Counters for ``/stats``: requests, latency, cache, engine."""
         with self._stats_lock:
             requests = {
                 "search": self._search_requests,
@@ -501,6 +650,7 @@ class SearchService:
                 "num_references": self.index.num_references,
                 "max_batch": self.config.max_batch,
                 "max_wait_ms": self.config.max_wait_ms,
+                "ann": self._ann_section(),
             },
             "uptime_seconds": round(time.time() - self._started, 3),
         }
@@ -587,10 +737,12 @@ class SearchServer(ThreadingHTTPServer):
         return self.registry.get()
 
     def shutdown(self) -> None:
+        """Stop accepting requests and drain keep-alive connections."""
         self.draining = True
         super().shutdown()
 
     def server_close(self) -> None:
+        """Close the socket, then drain routes this server itself added."""
         super().server_close()
         if self._implicit_registry:
             # The caller owns only the service it passed in; routes
@@ -618,6 +770,7 @@ class SearchRequestHandler(BaseHTTPRequestHandler):
     max_body_bytes = 64 * 1024 * 1024
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Per-request stderr logging, silenced unless ``quiet=False``."""
         if not getattr(self.server, "quiet", True):
             super().log_message(format, *args)
 
@@ -675,15 +828,18 @@ class SearchRequestHandler(BaseHTTPRequestHandler):
 
     @property
     def registry(self):
+        """The index registry owned by the server."""
         return self.server.registry
 
     @property
     def service(self) -> SearchService:
+        """Default-route service (single-route back-compat)."""
         return self.server.service
 
     # -- routes --------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        """Serve the read-only endpoints: /healthz, /stats, /metrics."""
         try:
             if self.path == "/healthz":
                 self._send_json(200, self.registry.healthz())
@@ -701,6 +857,7 @@ class SearchRequestHandler(BaseHTTPRequestHandler):
             self._send_json(500, {"error": str(error)})
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
+        """Serve the mutating endpoints: /search, /search_batch, /reload."""
         from .registry import UnknownRouteError
 
         try:
@@ -783,8 +940,8 @@ class SearchRequestHandler(BaseHTTPRequestHandler):
             # Don't silently reload the old path for a wrong-shaped
             # body the client meant as a new index.
             raise ProtocolError(
-                'body must be {} or '
-                '{"index": "<path>", "route": "<name>", "remove": bool}'
+                'body must be {} or {"index": "<path>", "route": "<name>", '
+                '"remove": bool, "ann": bool}'
             )
         index_path = payload.get("index")
         if index_path is not None and not isinstance(index_path, str):
@@ -793,6 +950,33 @@ class SearchRequestHandler(BaseHTTPRequestHandler):
         remove = payload.get("remove", False)
         if not isinstance(remove, bool):
             raise ProtocolError('"remove" must be a boolean')
+        ann_flag = payload.get("ann")
+        if ann_flag is not None and not isinstance(ann_flag, bool):
+            raise ProtocolError('"ann" must be a boolean')
+        if ann_flag is not None:
+            # An ANN toggle rebuilds the engine over the index already
+            # loaded on the route; mixing it with an index swap or a
+            # route removal would be ambiguous about ordering.
+            if index_path is not None or remove:
+                raise ProtocolError(
+                    '"ann" is mutually exclusive with "index" and "remove"'
+                )
+            service = self.registry.get(route)
+            try:
+                label = service.set_ann(ann_flag)
+            except RuntimeError as error:
+                raise ProtocolError(str(error)) from None
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "route": service.route,
+                    "ann": ann_flag,
+                    "engine": label,
+                    "routes": self.registry.route_names(),
+                },
+            )
+            return
         if remove:
             if index_path is not None:
                 raise ProtocolError(

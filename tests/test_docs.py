@@ -1,0 +1,76 @@
+"""Documentation integrity: relative links resolve, docs tree exists.
+
+CI's docs job runs this file (it is also part of the default tier-1
+run): every relative markdown link in ``README.md`` and ``docs/*.md``
+must point at a file that exists in the repository, and the three core
+docs pages the README advertises must be present.  External links
+(``http(s)://``, ``mailto:``) are out of scope — checking them would
+make the suite network-dependent and flaky.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS_DIR = REPO_ROOT / "docs"
+
+#: ``[text](target)`` markdown links, excluding images' surrounding ``!``
+#: is irrelevant here — image targets must resolve too.
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+REQUIRED_PAGES = (
+    "architecture.md",
+    "ann-tuning.md",
+    "config-reference.md",
+)
+
+
+def _markdown_files():
+    files = [REPO_ROOT / "README.md"]
+    if DOCS_DIR.is_dir():
+        files.extend(sorted(DOCS_DIR.glob("*.md")))
+    return files
+
+
+def _relative_targets(text):
+    for match in LINK_PATTERN.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target.split("#", 1)[0]
+
+
+def test_docs_tree_exists():
+    assert DOCS_DIR.is_dir(), "docs/ directory is missing"
+    for page in REQUIRED_PAGES:
+        assert (DOCS_DIR / page).is_file(), f"docs/{page} is missing"
+
+
+def test_readme_links_into_docs():
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    assert "docs/architecture.md" in readme, (
+        "README must link to the architecture overview"
+    )
+
+
+@pytest.mark.parametrize(
+    "markdown_path",
+    _markdown_files(),
+    ids=lambda p: str(p.relative_to(REPO_ROOT)),
+)
+def test_relative_links_resolve(markdown_path):
+    """Every relative link in this markdown file points at a real file."""
+    text = markdown_path.read_text(encoding="utf-8")
+    broken = []
+    for target in _relative_targets(text):
+        if not target:
+            continue
+        resolved = (markdown_path.parent / target).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, (
+        f"{markdown_path.relative_to(REPO_ROOT)} has broken relative "
+        f"links: {broken}"
+    )
