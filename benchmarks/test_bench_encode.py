@@ -24,6 +24,7 @@ import numpy as np
 from repro.hdc.encoder import SpectrumEncoder, sign_with_tiebreak
 from repro.hdc.spaces import HDSpace, HDSpaceConfig
 from repro.ms.vectorize import BinningConfig, SparseVector, quantize_intensities
+from repro.obs import get_tracer
 
 RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_encode.json"
 
@@ -137,4 +138,66 @@ def test_bench_encode_fused_vs_row_loop(capsys):
     assert speedup >= MIN_SPEEDUP, (
         f"fused encode_batch only {speedup:.2f}x the row-loop baseline "
         f"(need >= {MIN_SPEEDUP}x at batch {BATCH})"
+    )
+
+
+# ----------------------------------------------------------------------
+# disabled-tracer overhead guard (repro.obs)
+# ----------------------------------------------------------------------
+
+#: Disabled span() calls timed per round (one per encode_batch in prod).
+TRACER_PROBE_CALLS = 2000
+
+#: Ceiling on (one disabled span) / (one encode_batch) — the obs layer's
+#: "near-zero overhead when disabled" contract, enforced.
+MAX_DISABLED_OVERHEAD = 0.02
+
+
+def test_bench_disabled_tracer_overhead(capsys):
+    """A disabled ``tracer.span`` must cost < 2% of one ``encode_batch``.
+
+    ``encode_batch`` opens exactly one ``encode.batch`` span per call,
+    so the instrumentation tax of the hot path with tracing off is one
+    disabled ``span()`` (an attribute check plus the caller's kwargs
+    dict).  This guard races that no-op against the encode work it
+    shadows and fails if the disabled path ever grows real cost.
+    """
+    binning = BinningConfig()
+    space = HDSpace(
+        HDSpaceConfig(
+            dim=1024, num_bins=binning.num_bins, num_levels=NUM_LEVELS, seed=7
+        )
+    )
+    encoder = SpectrumEncoder(space, binning)
+    rng = np.random.default_rng(33)
+    vectors = []
+    for _ in range(128):
+        num_peaks = int(rng.integers(8, MAX_PEAKS + 1))
+        indices = np.sort(
+            rng.choice(binning.num_bins, size=num_peaks, replace=False)
+        ).astype(np.int64)
+        values = rng.gamma(2.0, 100.0, size=num_peaks)
+        vectors.append(SparseVector(indices, values, binning.num_bins))
+
+    tracer = get_tracer()
+    assert not tracer.enabled, "benchmarks expect the global tracer off"
+    encoder.encode_batch(vectors)  # warm the ID bank outside the timing
+    encode_seconds = _best_of(lambda: encoder.encode_batch(vectors))
+
+    def spin_disabled_spans():
+        for _ in range(TRACER_PROBE_CALLS):
+            with tracer.span("encode.batch", batch=128, peaks=4096):
+                pass
+
+    span_seconds = _best_of(spin_disabled_spans) / TRACER_PROBE_CALLS
+    overhead = span_seconds / max(encode_seconds, 1e-12)
+    with capsys.disabled():
+        print(
+            f"\n[bench-obs] disabled span {1e9 * span_seconds:.0f} ns vs "
+            f"encode_batch {1000 * encode_seconds:.2f} ms "
+            f"({100 * overhead:.4f}% overhead)"
+        )
+    assert overhead < MAX_DISABLED_OVERHEAD, (
+        f"disabled tracer span costs {100 * overhead:.2f}% of encode_batch "
+        f"(must stay < {100 * MAX_DISABLED_OVERHEAD:.0f}%)"
     )

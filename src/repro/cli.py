@@ -1,6 +1,6 @@
 """Command-line interface: ``hdoms`` (also installed as ``repro``).
 
-Six subcommands cover the library's user-facing workflows:
+Seven subcommands cover the library's user-facing workflows:
 
 * ``hdoms workload`` — generate a synthetic benchmark (MSP library +
   MGF queries + ground-truth TSV) to disk;
@@ -11,6 +11,9 @@ Six subcommands cover the library's user-facing workflows:
   batches from it (optionally sharded across worker processes);
 * ``hdoms serve`` — run the long-lived online search service (micro-
   batching + result cache + HTTP JSON API) over a persisted index;
+* ``hdoms profile`` — search queries against an index with span tracing
+  on, write a Chrome/Perfetto ``trace_event`` JSON file, and print the
+  per-stage latency table (see ``docs/observability.md``);
 * ``hdoms experiment`` — regenerate one (or all) of the paper's tables
   and figures and print the rows/series;
 * ``hdoms info`` — version and configuration summary.
@@ -24,6 +27,32 @@ from pathlib import Path
 from typing import List, Optional
 
 from . import __version__
+
+
+def _add_logging_arguments(parser) -> None:
+    """The shared ``--log-*`` flag group (long-running subcommands)."""
+    from .obs.logging import LOG_FORMATS, LOG_LEVELS
+
+    group = parser.add_argument_group("logging")
+    group.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default="info",
+        help="minimum level for repro.* log lines (default info)",
+    )
+    group.add_argument(
+        "--log-format",
+        choices=LOG_FORMATS,
+        default="text",
+        help="text = human-readable lines, json = one JSON object per line",
+    )
+
+
+def _setup_logging_from_args(args) -> None:
+    """Install the stderr log handler the ``--log-*`` flags describe."""
+    from .obs.logging import setup_logging
+
+    setup_logging(level=args.log_level, fmt=args.log_format)
 
 
 def _add_ann_arguments(parser) -> None:
@@ -183,6 +212,7 @@ def _add_index_parser(subparsers) -> None:
         help="library already contains decoys (Comment: Decoy=true)",
     )
     _add_ann_arguments(build)
+    _add_logging_arguments(build)
 
     search = index_sub.add_parser(
         "search", help="search MGF queries against a persisted index"
@@ -239,6 +269,7 @@ def _add_index_parser(subparsers) -> None:
         help="queries searched per batch in jsonl streaming mode",
     )
     _add_ann_arguments(search)
+    _add_logging_arguments(search)
 
 
 def _add_serve_parser(subparsers) -> None:
@@ -310,7 +341,87 @@ def _add_serve_parser(subparsers) -> None:
         action="store_true",
         help="log one line per HTTP request",
     )
+    observability = parser.add_argument_group(
+        "observability", "span tracing + slow-query log (docs/observability.md)"
+    )
+    observability.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "record requests slower than this in the /debug/slow ring "
+            "buffer (default 250; 0 records every request)"
+        ),
+    )
+    observability.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="disable span tracing (/debug/trace returns an empty trace)",
+    )
+    observability.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=None,
+        metavar="N",
+        help="span ring-buffer size (default 4096)",
+    )
     _add_ann_arguments(parser)
+    _add_logging_arguments(parser)
+
+
+def _add_profile_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "profile",
+        help=(
+            "trace a search run and write Chrome/Perfetto trace_event JSON"
+        ),
+    )
+    parser.add_argument(
+        "--index", type=Path, required=True, dest="index_path", help=".npz index"
+    )
+    parser.add_argument("--queries", type=Path, required=True, help="MGF file")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path("profile-trace.json"),
+        help=(
+            "trace file to write (open in chrome://tracing or "
+            "https://ui.perfetto.dev; default profile-trace.json)"
+        ),
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="profile only the first N queries",
+    )
+    parser.add_argument(
+        "--mode", choices=("open", "standard", "cascade"), default="open"
+    )
+    parser.add_argument("--open-window", type=float, default=500.0)
+    parser.add_argument(
+        "--shards", type=int, default=1, help="library partitions to score"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size (0 = no multiprocessing)",
+    )
+    parser.add_argument(
+        "--backend", choices=("dense", "packed"), default="dense"
+    )
+    parser.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=None,
+        metavar="N",
+        help="span ring-buffer size (default 4096)",
+    )
+    _add_ann_arguments(parser)
+    _add_logging_arguments(parser)
 
 
 def _add_experiment_parser(subparsers) -> None:
@@ -355,6 +466,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_search_parser(subparsers)
     _add_index_parser(subparsers)
     _add_serve_parser(subparsers)
+    _add_profile_parser(subparsers)
     _add_experiment_parser(subparsers)
     subparsers.add_parser("info", help="print version and defaults")
     return parser
@@ -532,6 +644,7 @@ def _cmd_index_build(args) -> int:
 
     try:
         ann = _ann_config_from_args(args)
+        _setup_logging_from_args(args)
     except ValueError as error:
         print(f"index build: {error}", file=sys.stderr)
         return 2
@@ -616,6 +729,25 @@ def _stream_jsonl_search(args, searcher, queries, info) -> int:
     return 0
 
 
+def _print_ann_summary(searcher, stream) -> None:
+    """Per-run ANN prefilter summary (printed after ``--ann`` searches)."""
+    stats = getattr(searcher, "ann_stats", None)
+    if stats is None:
+        return
+    snapshot = stats.snapshot()
+    window_rows = snapshot["window_rows"]
+    ratio = (
+        f"{snapshot['scored_rows'] / window_rows:.4f}" if window_rows else "n/a"
+    )
+    print(
+        f"ann prefilter: {snapshot['bypassed']} bypassed, "
+        f"{snapshot['prefiltered']} prefiltered, "
+        f"{snapshot['fallbacks']} fallbacks; mean candidate ratio {ratio} "
+        f"({snapshot['scored_rows']}/{window_rows} window rows scored)",
+        file=stream,
+    )
+
+
 def _cmd_index_search(args) -> int:
     import time
 
@@ -631,6 +763,7 @@ def _cmd_index_search(args) -> int:
         return 2
     try:
         ann = _ann_config_from_args(args)
+        _setup_logging_from_args(args)
     except ValueError as error:
         print(f"index search: {error}", file=sys.stderr)
         return 2
@@ -668,10 +801,13 @@ def _cmd_index_search(args) -> int:
         num_workers=args.workers,
     ) as searcher:
         if streaming:
-            return _stream_jsonl_search(
+            code = _stream_jsonl_search(
                 args, searcher, read_mgf(args.queries), info
             )
+            _print_ann_summary(searcher, info)
+            return code
         result = searcher.search(list(read_mgf(args.queries)))
+        _print_ann_summary(searcher, info)
     accepted = grouped_fdr(result.psms, fdr)
     peptides = {psm.peptide_key for psm in accepted if psm.peptide_key}
     modified = sum(1 for psm in accepted if psm.is_modified_match)
@@ -737,10 +873,14 @@ def cmd_serve(args) -> int:
     from .service import ServiceConfig, serve
     from .service.server import ServiceStartupError
 
+    from .obs.slowlog import DEFAULT_SLOW_MS
+    from .obs.trace import DEFAULT_CAPACITY
+
     # Bad flag combinations (e.g. batched engine + cascade mode) and
     # unreadable index files are usage errors, not crashes; failures
     # after startup keep their tracebacks.
     try:
+        _setup_logging_from_args(args)
         routes = _parse_index_routes(args.indexes)
         config = ServiceConfig(
             max_batch=args.max_batch,
@@ -766,10 +906,97 @@ def cmd_serve(args) -> int:
             config=config,
             quiet=not args.verbose,
             default_route=args.default_route,
+            slow_ms=args.slow_ms if args.slow_ms is not None else DEFAULT_SLOW_MS,
+            trace=not args.no_trace,
+            trace_capacity=(
+                args.trace_capacity
+                if args.trace_capacity is not None
+                else DEFAULT_CAPACITY
+            ),
         )
     except ServiceStartupError as error:
         print(f"serve: {error}", file=sys.stderr)
         return 2
+
+
+def cmd_profile(args) -> int:
+    """Entry point for ``hdoms profile`` (traced search + stage table)."""
+    import json
+    import time
+
+    from .constants import DEFAULT_STANDARD_WINDOW_DA
+    from .index import LibraryIndex, ShardedSearcher
+    from .ms.mgf import read_mgf
+    from .obs.export import chrome_trace
+    from .obs.profile import render_stage_table, summarize_spans
+    from .obs.trace import DEFAULT_CAPACITY, get_tracer, new_request_id
+    from .oms.candidates import WindowConfig
+    from .oms.search import HDSearchConfig
+
+    try:
+        ann = _ann_config_from_args(args)
+        _setup_logging_from_args(args)
+    except ValueError as error:
+        print(f"profile: {error}", file=sys.stderr)
+        return 2
+    if args.limit is not None and args.limit < 1:
+        print(f"--limit must be >= 1, got {args.limit}", file=sys.stderr)
+        return 2
+
+    index = LibraryIndex.load(args.index_path)
+    queries = list(read_mgf(args.queries))
+    if args.limit is not None:
+        queries = queries[: args.limit]
+    if not queries:
+        print("profile: no queries to run", file=sys.stderr)
+        return 2
+
+    tracer = get_tracer()
+    was_enabled = tracer.enabled
+    tracer.enable(
+        args.trace_capacity
+        if args.trace_capacity is not None
+        else DEFAULT_CAPACITY
+    )
+    tracer.clear()
+    request_id = new_request_id()
+    windows = WindowConfig(
+        standard_tolerance_da=DEFAULT_STANDARD_WINDOW_DA,
+        open_window_da=args.open_window,
+    )
+    try:
+        start = time.perf_counter()
+        with ShardedSearcher(
+            index,
+            num_shards=args.shards,
+            windows=windows,
+            config=HDSearchConfig(mode=args.mode, ann=ann),
+            backend=args.backend,
+            num_workers=args.workers,
+        ) as searcher:
+            with tracer.span(
+                "profile.run", request_id=request_id, queries=len(queries)
+            ):
+                result = searcher.search(queries)
+            _print_ann_summary(searcher, sys.stdout)
+        elapsed = time.perf_counter() - start
+        spans = tracer.records()
+        trace = chrome_trace(tracer)
+    finally:
+        if not was_enabled:
+            tracer.disable()
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle)
+    print(
+        f"profiled {len(queries)} queries ({len(result.psms)} PSMs) in "
+        f"{elapsed:.2f}s on backend {result.backend_name!r}"
+    )
+    print(render_stage_table(summarize_spans(spans)))
+    print(
+        f"wrote {len(trace['traceEvents'])} trace events -> {args.output} "
+        "(open in chrome://tracing or https://ui.perfetto.dev)"
+    )
+    return 0
 
 
 def cmd_experiment(args) -> int:
@@ -816,7 +1043,7 @@ def cmd_info() -> int:
     print(f"  default FDR threshold : {DEFAULT_FDR_THRESHOLD:.0%}")
     print(
         "  subcommands           : workload, search, index, serve, "
-        "experiment, info"
+        "profile, experiment, info"
     )
     return 0
 
@@ -832,6 +1059,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_index(args)
     if args.command == "serve":
         return cmd_serve(args)
+    if args.command == "profile":
+        return cmd_profile(args)
     if args.command == "experiment":
         return cmd_experiment(args)
     if args.command == "info":

@@ -29,6 +29,7 @@ import numpy as np
 
 from ..ms.spectrum import Spectrum
 from ..ms.vectorize import BinningConfig, SparseVector, quantize_intensities, vectorize
+from ..obs.trace import get_tracer
 from .spaces import HDSpace
 
 #: Concatenated peak rows the fused batch encoder gathers per block.
@@ -216,14 +217,15 @@ class SpectrumEncoder:
         :meth:`accumulate_batch`); output is bit-identical to calling
         :meth:`encode` / :meth:`encode_vector` row by row.
         """
-        vectors: List[SparseVector] = [
-            item
-            if isinstance(item, SparseVector)
-            else vectorize(item, self.binning)
-            for item in spectra
-        ]
-        accumulators = self.accumulate_batch(vectors)
-        return sign_with_tiebreak(accumulators, self.space.tiebreak)
+        with get_tracer().span("encode.batch", batch=len(spectra), dim=self.space.dim):
+            vectors: List[SparseVector] = [
+                item
+                if isinstance(item, SparseVector)
+                else vectorize(item, self.binning)
+                for item in spectra
+            ]
+            accumulators = self.accumulate_batch(vectors)
+            return sign_with_tiebreak(accumulators, self.space.tiebreak)
 
     def peak_operands(self, vector: SparseVector):
         """The (ID matrix, level indices) pair for one spectrum.

@@ -29,7 +29,9 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import logging
 import struct
+import time
 import zipfile
 from dataclasses import dataclass
 from pathlib import Path
@@ -44,6 +46,8 @@ from ..hdc.spaces import HDSpace, HDSpaceConfig
 from ..ms.preprocessing import PreprocessingConfig, preprocess
 from ..ms.spectrum import Spectrum
 from ..ms.vectorize import BinningConfig
+
+logger = logging.getLogger(__name__)
 
 #: Bump when the on-disk layout changes incompatibly.
 INDEX_FORMAT_VERSION = 1
@@ -279,6 +283,15 @@ class LibraryIndex:
             raise ValueError("no reference spectrum survived preprocessing")
 
         num_kept = len(kept_originals)
+        encode_started = time.perf_counter()
+        logger.info(
+            "building index: %d/%d references survived preprocessing "
+            "(dim=%d, chunk_size=%d)",
+            num_kept,
+            len(references),
+            encoder.space.dim,
+            chunk_size,
+        )
         charges = np.array(
             [ref.precursor_charge for ref in kept_originals], dtype=np.int64
         )
@@ -314,6 +327,11 @@ class LibraryIndex:
             binning=binning,
             preprocessing=preprocessing,
             source=source,
+        )
+        logger.info(
+            "encoded %d references in %.2f s",
+            num_kept,
+            time.perf_counter() - encode_started,
         )
         if ann is not None:
             index.attach_ann(ann)
@@ -384,7 +402,15 @@ class LibraryIndex:
             members["ann_json"] = np.array(json.dumps(self.ann.provenance()))
         np.savez(path, **members)
         # np.savez appends ".npz" when missing; report the real file.
-        return path if path.suffix == ".npz" else Path(str(path) + ".npz")
+        written = path if path.suffix == ".npz" else Path(str(path) + ".npz")
+        logger.info(
+            "saved index with %d references (%d bytes packed%s) to %s",
+            len(self.identifiers),
+            self.packed.nbytes,
+            ", ANN tables attached" if self.ann is not None else "",
+            written,
+        )
+        return written
 
     @classmethod
     def load(cls, path: Union[str, Path], mmap: bool = True) -> "LibraryIndex":
@@ -460,6 +486,14 @@ class LibraryIndex:
                         f"{ann.dim}, index holds {len(identifiers)} rows "
                         f"at dim {dim}"
                     )
+        logger.info(
+            "loaded index from %s: %d references, dim=%d, mmap=%s, ann=%s",
+            path,
+            len(identifiers),
+            dim,
+            isinstance(packed, np.memmap),
+            ann is not None,
+        )
         return cls(
             packed=packed,
             dim=dim,

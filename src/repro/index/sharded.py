@@ -31,6 +31,7 @@ from ..hdc.noise import flip_bits
 from ..hdc.packing import pack_bipolar, unpack_bipolar
 from ..ms.preprocessing import PreprocessingConfig, preprocess
 from ..ms.spectrum import Spectrum
+from ..obs.trace import get_tracer
 from ..oms.candidates import WindowConfig
 from ..oms.psm import PSM, SearchResult
 from ..oms.search import (
@@ -187,15 +188,22 @@ def _init_worker(payloads: List[Dict]) -> None:
 
 
 def _score_shard_task(task) -> Tuple:
-    """Score one (shard, query batch) pair inside a worker process."""
+    """Score one (shard, query batch) pair inside a worker process.
+
+    The second element of the returned tuple is the worker-side wall
+    time of the scoring call, so the parent can merge per-shard spans
+    into its trace without any tracer state crossing the pool boundary.
+    """
     shard_id, query_hvs, query_masses, query_charges, half_width = task
     scorer = _WORKER_STATE["scorers"].get(shard_id)
     if scorer is None:
         scorer = _ShardScorer(_WORKER_STATE["payloads"][shard_id])
         _WORKER_STATE["scorers"][shard_id] = scorer
-    return (shard_id,) + scorer.score_batch(
+    started = time.perf_counter()
+    scored = scorer.score_batch(
         query_hvs, query_masses, query_charges, half_width
     )
+    return (shard_id, time.perf_counter() - started) + scored
 
 
 class ShardedSearcher:
@@ -369,11 +377,30 @@ class ShardedSearcher:
             )
             for payload in self._payloads
         ]
-        if self._num_workers == 0:
-            raw = [_score_serial(self._serial_scorers, self._payloads, task) for task in tasks]
-        else:
-            raw = self._ensure_pool().map(_score_shard_task, tasks)
-        by_shard = {result[0]: result[1:] for result in raw}
+        tracer = get_tracer()
+        with tracer.span(
+            "shard.fanout",
+            shards=self.num_shards,
+            workers=self._num_workers,
+            queries=len(query_masses),
+        ):
+            if self._num_workers == 0:
+                raw = [_score_serial(self._serial_scorers, self._payloads, task) for task in tasks]
+            else:
+                raw = self._ensure_pool().map(_score_shard_task, tasks)
+            if tracer.enabled:
+                # Workers time their own scoring (a bare float crosses
+                # the pool boundary); merge those timings here as spans
+                # on virtual per-shard lanes under the fanout span.
+                for result in raw:
+                    tracer.emit(
+                        "shard.score",
+                        duration=float(result[1]),
+                        thread=f"shard-{result[0]}",
+                        shard=int(result[0]),
+                        queries=len(query_masses),
+                    )
+        by_shard = {result[0]: result[2:] for result in raw}
         return [by_shard[shard_id] for shard_id in range(self.num_shards)]
 
     def _run_pass(
@@ -494,10 +521,17 @@ class ShardedSearcher:
 def _score_serial(
     scorers: Dict[int, _ShardScorer], payloads: List[Dict], task
 ) -> Tuple:
-    """In-process fallback used when ``num_workers=0``."""
+    """In-process fallback used when ``num_workers=0``.
+
+    Matches :func:`_score_shard_task`'s return layout, wall time of the
+    scoring call included, so the parent merges spans identically for
+    both execution paths.
+    """
     shard_id = task[0]
     scorer = scorers.get(shard_id)
     if scorer is None:
         scorer = _ShardScorer(payloads[shard_id])
         scorers[shard_id] = scorer
-    return (shard_id,) + scorer.score_batch(*task[1:])
+    started = time.perf_counter()
+    scored = scorer.score_batch(*task[1:])
+    return (shard_id, time.perf_counter() - started) + scored

@@ -1,0 +1,65 @@
+"""Offline profiling support for the ``repro profile`` CLI command.
+
+``repro profile`` runs a query file against a persisted index with the
+tracer enabled, writes the recorded spans as a Chrome trace (openable
+in ``about:tracing`` / Perfetto), and prints a per-stage summary table.
+This module holds the reusable pieces — the span aggregation and the
+table renderer — so the CLI stays thin and the logic is unit-testable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from .trace import Span
+
+__all__ = ["summarize_spans", "render_stage_table"]
+
+
+def summarize_spans(spans: Iterable[Span]) -> List[Dict[str, object]]:
+    """Aggregate spans by name into per-stage rows, slowest total first.
+
+    Returns:
+        One row per span name with ``name`` / ``count`` / ``total_ms``
+        / ``mean_ms`` / ``max_ms`` keys.
+    """
+    totals: Dict[str, List[float]] = {}
+    for span in spans:
+        entry = totals.get(span.name)
+        if entry is None:
+            totals[span.name] = [1, span.duration, span.duration]
+        else:
+            entry[0] += 1
+            entry[1] += span.duration
+            entry[2] = max(entry[2], span.duration)
+    rows = [
+        {
+            "name": name,
+            "count": int(count),
+            "total_ms": round(1000.0 * total, 3),
+            "mean_ms": round(1000.0 * total / count, 3),
+            "max_ms": round(1000.0 * peak, 3),
+        }
+        for name, (count, total, peak) in totals.items()
+    ]
+    rows.sort(key=lambda row: -float(row["total_ms"]))  # type: ignore[arg-type]
+    return rows
+
+
+def render_stage_table(rows: List[Dict[str, object]]) -> str:
+    """Fixed-width text table of :func:`summarize_spans` rows."""
+    if not rows:
+        return "(no spans recorded)"
+    name_width = max(len("stage"), max(len(str(r["name"])) for r in rows))
+    header = (
+        f"{'stage':<{name_width}}  {'count':>7}  {'total_ms':>10}  "
+        f"{'mean_ms':>9}  {'max_ms':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['name']:<{name_width}}  {row['count']:>7}  "
+            f"{row['total_ms']:>10.3f}  {row['mean_ms']:>9.3f}  "
+            f"{row['max_ms']:>9.3f}"
+        )
+    return "\n".join(lines)

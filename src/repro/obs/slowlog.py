@@ -1,0 +1,155 @@
+"""Ring-buffer slow-query log for the search service.
+
+Aggregate histograms say *that* latency regressed; the slow-query log
+says *which request* and *where the time went*.  The HTTP layer offers
+every finished search request to a :class:`SlowQueryLog`; requests at
+or above the threshold are kept in a bounded ring buffer (served by
+``/debug/slow``) and logged as one structured line through the module
+logger — with ``--log-format json`` each slow query becomes a single
+machine-parseable JSON record including its per-stage breakdown.
+
+The log is deliberately independent of the tracer: it works (minus the
+stage breakdown) even when tracing is disabled, and a threshold of 0
+turns it into a plain rolling request log.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+__all__ = [
+    "SlowQueryLog",
+    "stage_breakdown",
+    "DEFAULT_SLOW_MS",
+    "DEFAULT_SLOW_CAPACITY",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Default slowness threshold (milliseconds) for the service.
+DEFAULT_SLOW_MS = 250.0
+
+#: Default number of slow-query records kept.
+DEFAULT_SLOW_CAPACITY = 128
+
+
+class SlowQueryLog:
+    """Bounded ring buffer of requests slower than a threshold.
+
+    Thread-safe: handler threads observe concurrently, ``/debug/slow``
+    snapshots under the same lock.
+    """
+
+    def __init__(
+        self,
+        threshold_ms: float = DEFAULT_SLOW_MS,
+        capacity: int = DEFAULT_SLOW_CAPACITY,
+    ) -> None:
+        if threshold_ms < 0:
+            raise ValueError(f"threshold_ms must be >= 0, got {threshold_ms}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.threshold_ms = float(threshold_ms)
+        self._records: "deque[Dict[str, object]]" = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._observed = 0
+        self._slow = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum records retained before the oldest are evicted."""
+        return self._records.maxlen or 0
+
+    def observe(
+        self,
+        duration_ms: float,
+        request_id: Optional[str] = None,
+        route: Optional[str] = None,
+        endpoint: Optional[str] = None,
+        cached: Optional[bool] = None,
+        stages: Optional[Dict[str, float]] = None,
+        **extra: object,
+    ) -> bool:
+        """Offer one finished request; returns True when it was recorded.
+
+        Args:
+            duration_ms: End-to-end wall latency of the request.
+            request_id: The request's id (joins it to its trace spans).
+            route: Route label that served the request.
+            endpoint: HTTP endpoint (``search`` / ``search_batch``).
+            cached: Whether the result came from the cache.
+            stages: Per-stage millisecond breakdown (from the tracer).
+            **extra: Additional context stored verbatim (batch size...).
+        """
+        with self._lock:
+            self._observed += 1
+            slow = duration_ms >= self.threshold_ms
+            if slow:
+                self._slow += 1
+        if not slow:
+            return False
+        record: Dict[str, object] = {
+            "time": time.time(),
+            "duration_ms": round(float(duration_ms), 3),
+            "request_id": request_id,
+            "route": route,
+            "endpoint": endpoint,
+        }
+        if cached is not None:
+            record["cached"] = cached
+        if stages:
+            record["stages_ms"] = {
+                name: round(1000.0 * seconds, 3)
+                for name, seconds in sorted(stages.items())
+            }
+        record.update(extra)
+        with self._lock:
+            self._records.append(record)
+        logger.warning(
+            "slow query %s on route %s: %.1f ms (%s)",
+            request_id or "-",
+            route or "-",
+            duration_ms,
+            endpoint or "-",
+            extra={"slow_query": record},
+        )
+        return True
+
+    def snapshot(self) -> Dict[str, object]:
+        """The ``/debug/slow`` payload: config, counters, newest-first records."""
+        with self._lock:
+            records = list(self._records)
+            observed, slow = self._observed, self._slow
+        records.reverse()
+        return {
+            "threshold_ms": self.threshold_ms,
+            "capacity": self.capacity,
+            "observed": observed,
+            "slow": slow,
+            "records": records,
+        }
+
+    def clear(self) -> None:
+        """Drop all records (counters keep accumulating)."""
+        with self._lock:
+            self._records.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+def stage_breakdown(spans) -> Dict[str, float]:
+    """Summed seconds per span name, for :meth:`SlowQueryLog.observe`.
+
+    A convenience for callers holding a list of
+    :class:`~repro.obs.trace.Span` objects for one request.
+    """
+    stages: Dict[str, float] = {}
+    for span in spans:
+        stages[span.name] = stages.get(span.name, 0.0) + span.duration
+    return stages

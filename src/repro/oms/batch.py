@@ -24,6 +24,7 @@ from ..hdc.noise import flip_bits
 from ..hdc.packing import pack_bipolar
 from ..ms.preprocessing import PreprocessingConfig, preprocess
 from ..ms.spectrum import Spectrum
+from ..obs.trace import get_tracer
 from .candidates import WindowConfig
 from .psm import PSM, SearchResult
 from .search import encode_queries
@@ -270,10 +271,16 @@ class BatchedHDOmsSearcher:
                     else:
                         indexed_psms.append((order_key, psm))
                 continue
-            query_matrix = np.stack(
-                [hv for _, _, hv in items]
-            ).astype(np.float32)
-            scores = query_matrix @ bucket["hvs"].T  # (q, n) dense
+            with get_tracer().span(
+                "score.dense",
+                charge=int(charge),
+                queries=len(items),
+                refs=int(bucket["hvs"].shape[0]),
+            ):
+                query_matrix = np.stack(
+                    [hv for _, _, hv in items]
+                ).astype(np.float32)
+                scores = query_matrix @ bucket["hvs"].T  # (q, n) dense
             masses = bucket["masses"]
             for row, (order_key, query, _hv) in enumerate(items):
                 low = np.searchsorted(
@@ -325,16 +332,24 @@ class BatchedHDOmsSearcher:
         half_width: float,
     ) -> Optional[PSM]:
         """Score one query against its ANN shortlist rows only."""
-        selection = self._prefilter.select(
-            query_hv, query.neutral_mass, query.precursor_charge, half_width
-        )
+        tracer = get_tracer()
+        with tracer.span("ann.prefilter") as span:
+            selection = self._prefilter.select(
+                query_hv, query.neutral_mass, query.precursor_charge, half_width
+            )
+            span.tag(
+                outcome=selection.outcome,
+                window=selection.window_count,
+                shortlist=len(selection.positions),
+            )
         self.ann_stats.record(
             selection.outcome, selection.window_count, len(selection.positions)
         )
         if selection.window_count == 0:
             return None
-        rows = bucket["hvs"][selection.ranks]
-        scores = rows @ query_hv.astype(np.float32)
+        with tracer.span("score.rerank", rows=len(selection.positions)):
+            rows = bucket["hvs"][selection.ranks]
+            scores = rows @ query_hv.astype(np.float32)
         best = int(np.argmax(scores))
         position = int(selection.positions[best])
         reference = self.references[position]

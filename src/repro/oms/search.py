@@ -25,6 +25,7 @@ from ..hdc.noise import flip_bits
 from ..hdc.packing import pack_bipolar, popcount
 from ..ms.preprocessing import PreprocessingConfig, preprocess
 from ..ms.spectrum import Spectrum
+from ..obs.trace import get_tracer
 from .candidates import CandidateIndex, WindowConfig
 from .psm import PSM, SearchResult
 
@@ -308,9 +309,15 @@ class HDOmsSearcher:
             if mode == "standard"
             else self.windows.open_window_da
         )
-        selection = self._prefilter.select(
-            query_hv, query.neutral_mass, query.precursor_charge, half_width
-        )
+        with get_tracer().span("ann.prefilter", mode=mode) as span:
+            selection = self._prefilter.select(
+                query_hv, query.neutral_mass, query.precursor_charge, half_width
+            )
+            span.tag(
+                outcome=selection.outcome,
+                window=selection.window_count,
+                shortlist=len(selection.positions),
+            )
         self.ann_stats.record(
             selection.outcome, selection.window_count, len(selection.positions)
         )
@@ -328,7 +335,10 @@ class HDOmsSearcher:
             window_count = len(positions)
         if window_count < self.config.min_candidates or len(positions) == 0:
             return None
-        scores = self.backend.scores(query_hv, positions)
+        with get_tracer().span(
+            "score.window", rows=len(positions), backend=self.backend.name
+        ):
+            scores = self.backend.scores(query_hv, positions)
         best = int(np.argmax(scores))
         reference = self.references[int(positions[best])]
         return PSM(

@@ -16,7 +16,9 @@ concurrent clients over a stdlib HTTP JSON API:
   its own cache and scheduler, hot add/swap/remove per route;
 * :class:`~repro.service.metrics.ServiceMetrics` — lock-safe
   Prometheus text export (per-route request counters, cache hit/miss,
-  micro-batch and latency histograms) behind ``/metrics``;
+  micro-batch, latency, and :mod:`repro.obs` per-stage histograms)
+  behind ``/metrics``, with ``/debug/trace`` (Chrome ``trace_event``
+  JSON) and ``/debug/slow`` (slow-query ring buffer) alongside;
 * :class:`~repro.service.server.SearchService` /
   :class:`~repro.service.server.SearchServer` — the engine room and
   its ``ThreadingHTTPServer`` front (``/search``, ``/search_batch``,
@@ -38,6 +40,7 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     RouteMetrics,
+    STAGE_SPANS,
     ServiceMetrics,
 )
 from .protocol import (
@@ -71,6 +74,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "RouteMetrics",
+    "STAGE_SPANS",
     "ServiceMetrics",
     "ProtocolError",
     "ROUTE_PATTERN",

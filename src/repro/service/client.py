@@ -75,9 +75,10 @@ class SearchClient:
         path: str,
         payload: Optional[dict] = None,
         parse_json: bool = True,
+        headers: Optional[dict] = None,
     ):
         body = None
-        headers = {"Accept": "application/json"}
+        headers = {"Accept": "application/json", **(headers or {})}
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -112,31 +113,49 @@ class SearchClient:
     # ------------------------------------------------------------------
 
     def search(
-        self, spectrum: Spectrum, route: Optional[str] = None
+        self,
+        spectrum: Spectrum,
+        route: Optional[str] = None,
+        request_id: Optional[str] = None,
     ) -> Optional[PSM]:
         """Search one spectrum; None when the service found no match."""
-        payload = self.search_detailed(spectrum, route=route).get("psm")
+        payload = self.search_detailed(
+            spectrum, route=route, request_id=request_id
+        ).get("psm")
         return PSM.from_dict(payload) if payload is not None else None
 
     def search_detailed(
-        self, spectrum: Spectrum, route: Optional[str] = None
+        self,
+        spectrum: Spectrum,
+        route: Optional[str] = None,
+        request_id: Optional[str] = None,
     ) -> dict:
-        """The raw ``/search`` reply (psm payload, cached flag, timing)."""
+        """The raw ``/search`` reply (psm, cached flag, request id, timing).
+
+        ``request_id`` pins the ``X-Request-Id`` the server would
+        otherwise generate, correlating this call with the caller's own
+        logs and with ``/debug/trace?request_id=...``.
+        """
         body = {"spectrum": spectrum_to_payload(spectrum)}
         resolved = self._resolve_route(route)
         if resolved is not None:
             body["route"] = resolved
-        return self._request("POST", "/search", body)
+        headers = {"X-Request-Id": request_id} if request_id else None
+        return self._request("POST", "/search", body, headers=headers)
 
     def search_batch(
-        self, spectra: Sequence[Spectrum], route: Optional[str] = None
+        self,
+        spectra: Sequence[Spectrum],
+        route: Optional[str] = None,
+        request_id: Optional[str] = None,
     ) -> List[Optional[PSM]]:
         """Search many spectra in one round trip; result aligns to input."""
         body = {"spectra": [spectrum_to_payload(s) for s in spectra]}
         resolved = self._resolve_route(route)
         if resolved is not None:
             body["route"] = resolved
-        reply = self._request("POST", "/search_batch", body)
+        headers = {"X-Request-Id": request_id} if request_id else None
+        reply = self._request("POST", "/search_batch", body, headers=headers)
         return [
             PSM.from_dict(payload) if payload is not None else None
             for payload in reply["psms"]
@@ -153,6 +172,20 @@ class SearchClient:
     def metrics(self) -> str:
         """The raw Prometheus text payload of ``/metrics``."""
         return self._request("GET", "/metrics", parse_json=False)
+
+    def debug_slow(self) -> dict:
+        """The server's slow-query ring buffer (``/debug/slow``)."""
+        return self._request("GET", "/debug/slow")
+
+    def debug_trace(self, request_id: Optional[str] = None) -> dict:
+        """Chrome ``trace_event`` JSON from ``/debug/trace``.
+
+        With ``request_id``, only that request's spans are exported.
+        """
+        path = "/debug/trace"
+        if request_id is not None:
+            path += f"?request_id={request_id}"
+        return self._request("GET", path)
 
     def reload(
         self,

@@ -31,8 +31,28 @@ import re
 import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..obs.trace import Span, Tracer
+
 _NAME_PATTERN = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_PATTERN = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Tracer span names bridged into the per-stage latency histogram,
+#: mapped to their ``stage`` label.  Spans must carry a ``route`` to be
+#: exported (pipeline spans inherit it from the service root span).
+STAGE_SPANS: Dict[str, str] = {
+    "service.cache_lookup": "cache_lookup",
+    "scheduler.queue_wait": "queue_wait",
+    "scheduler.batch": "batch",
+    "engine.search": "engine",
+    "encode.batch": "encode",
+    "ann.prefilter": "ann_prefilter",
+    "score.dense": "score_dense",
+    "score.rerank": "score_rerank",
+    "score.window": "score_window",
+    "shard.fanout": "shard_fanout",
+    "shard.score": "shard_score",
+    "service.serialize": "serialize",
+}
 
 #: Default latency-style buckets (seconds), Prometheus' classic ladder.
 LATENCY_BUCKETS: Tuple[float, ...] = (
@@ -384,10 +404,40 @@ class ServiceMetrics:
             ("route",),
             buckets=RATIO_BUCKETS,
         )
+        self.stage_seconds = self.registry.histogram(
+            "hdoms_service_stage_seconds",
+            "Per-stage pipeline latency from tracer spans, by route and "
+            "stage (see repro.obs).",
+            ("route", "stage"),
+        )
+        # Bound methods are fresh objects per attribute access; keep one
+        # stable reference so attach/detach stay idempotent even when
+        # several routes share this instance.
+        self._listener = self.span_listener
 
     def for_route(self, route: str) -> "RouteMetrics":
         """A pre-bound per-route view (see :class:`RouteMetrics`)."""
         return RouteMetrics(self, route)
+
+    def span_listener(self, span: Span) -> None:
+        """Finished-span hook feeding :data:`STAGE_SPANS` histograms.
+
+        Spans without a route (CLI runs, bare engine usage) and spans
+        outside the stage mapping are skipped — the listener only
+        exports pipeline stages the service can attribute to a route.
+        """
+        stage = STAGE_SPANS.get(span.name)
+        if stage is None or span.route is None:
+            return
+        self.stage_seconds.observe(span.duration, route=span.route, stage=stage)
+
+    def attach(self, tracer: Tracer) -> None:
+        """Bridge ``tracer``'s finished spans into the stage histogram."""
+        tracer.add_listener(self._listener)
+
+    def detach(self, tracer: Tracer) -> None:
+        """Remove the bridge installed by :meth:`attach`."""
+        tracer.remove_listener(self._listener)
 
     def render(self) -> str:
         """The full Prometheus text payload for ``/metrics``."""

@@ -37,6 +37,7 @@ from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..index.library import LibraryIndex
+from ..obs.trace import get_tracer
 from .metrics import ServiceMetrics
 from .protocol import DEFAULT_ROUTE, validate_route_name
 from .server import SearchService, ServiceConfig
@@ -357,6 +358,9 @@ class IndexRegistry:
             services = dict(self._services)
         for service in services.values():
             service.close(timeout=timeout)
+        # The routes share this registry's ServiceMetrics; with all of
+        # them closed, its tracer listener has nothing left to export.
+        self.metrics.detach(get_tracer())
 
     def __enter__(self) -> "IndexRegistry":
         return self

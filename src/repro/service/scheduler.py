@@ -26,6 +26,8 @@ from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs.trace import Span, get_tracer
+
 
 @dataclass
 class SchedulerStats:
@@ -103,6 +105,10 @@ class MicroBatchScheduler:
         the batch).  Used by the service's metrics export; observer
         exceptions are swallowed so instrumentation can never kill the
         flusher.
+    route:
+        Optional route label stamped onto the scheduler's trace spans
+        (``scheduler.batch`` / ``scheduler.queue_wait``), so per-stage
+        histograms attribute flusher time to the right route.
     """
 
     def __init__(
@@ -111,6 +117,7 @@ class MicroBatchScheduler:
         max_batch: int = 32,
         max_wait_ms: float = 5.0,
         flush_observer: Optional[Callable[[int, str, float], None]] = None,
+        route: Optional[str] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -121,8 +128,13 @@ class MicroBatchScheduler:
         self.max_wait = max_wait_ms / 1000.0
         self.stats = SchedulerStats()
         self._flush_observer = flush_observer
-        self._queue: List[Tuple[object, Future, float]] = []
-        self._inflight: List[Tuple[object, Future, float]] = []
+        self.route = route
+        #: Queue entries: (item, future, enqueue_monotonic, trace_ctx).
+        #: ``trace_ctx`` is the submitter's current span (or None), so
+        #: the flusher can parent each request's queue-wait span on the
+        #: HTTP request that enqueued it.
+        self._queue: List[Tuple[object, Future, float, Optional[Span]]] = []
+        self._inflight: List[Tuple[object, Future, float, Optional[Span]]] = []
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._closed = False
@@ -148,11 +160,12 @@ class MicroBatchScheduler:
         """
         futures: List[Future] = [Future() for _ in items]
         now = time.monotonic()
+        ctx = get_tracer().capture()
         with self._wakeup:
             if self._closed:
                 raise RuntimeError("scheduler is closed")
             for item, future in zip(items, futures):
-                self._queue.append((item, future, now))
+                self._queue.append((item, future, now, ctx))
             self.stats.record_submit(len(futures))
             self._wakeup.notify()
         return futures
@@ -174,15 +187,15 @@ class MicroBatchScheduler:
         still running (callers close the engine right after, which must
         not happen under a live flusher).
         """
-        abandoned: List[Tuple[object, Future, float]] = []
+        abandoned: List[Tuple[object, Future, float, Optional[Span]]] = []
         with self._wakeup:
             if not self._closed:
                 self._closed = True
                 if not drain:
                     abandoned, self._queue = self._queue, []
                 self._wakeup.notify_all()
-        for _item, future, _t in abandoned:
-            _fail_future(future, RuntimeError("scheduler closed"))
+        for entry in abandoned:
+            _fail_future(entry[1], RuntimeError("scheduler closed"))
         self._thread.join(timeout)
         if not self._thread.is_alive():
             return
@@ -196,8 +209,20 @@ class MicroBatchScheduler:
             "scheduler closed with a batch still in flight "
             f"(runner did not finish within {timeout}s)"
         )
-        for _item, future, _t in pending:
-            _fail_future(future, error)
+        for entry in pending:
+            _fail_future(entry[1], error)
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting (queued plus in-flight)."""
+        with self._lock:
+            return len(self._queue) + len(self._inflight)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flush counters plus the live queue depth (``/stats`` export)."""
+        data = self.stats.snapshot()
+        data["queue_depth"] = self.queue_depth
+        return data
 
     # ------------------------------------------------------------------
     # flusher side
@@ -240,7 +265,7 @@ class MicroBatchScheduler:
                 self._inflight = []
 
     def _run_batch(
-        self, batch: List[Tuple[object, Future, float]], reason: str
+        self, batch: List[Tuple[object, Future, float, Optional[Span]]], reason: str
     ) -> None:
         now = time.monotonic()
         wait_seconds = sum(now - entry[2] for entry in batch)
@@ -250,18 +275,51 @@ class MicroBatchScheduler:
                 self._flush_observer(len(batch), reason, wait_seconds)
             except Exception:  # noqa: BLE001 - metrics must never kill us
                 pass
+        tracer = get_tracer()
+        request_ids: List[str] = []
+        if tracer.enabled:
+            # Each request's queue wait joins the trace under the span
+            # that submitted it (the HTTP handler), even though it is
+            # measured here on the flusher thread.
+            for entry in batch:
+                tracer.emit(
+                    "scheduler.queue_wait",
+                    duration=now - entry[2],
+                    parent=entry[3],
+                    route=self.route,
+                    reason=reason,
+                )
+                ctx = entry[3]
+                if (
+                    ctx is not None
+                    and ctx.request_id
+                    and ctx.request_id not in request_ids
+                ):
+                    request_ids.append(ctx.request_id)
         try:
-            results = self._runner([item for item, _future, _t in batch])
+            # A batch serving exactly one request inherits its id, so
+            # that request's trace reaches through the engine spans
+            # (encode / prefilter / scoring); a shared batch instead
+            # lists every request it coalesced.
+            with tracer.span(
+                "scheduler.batch",
+                request_id=request_ids[0] if len(request_ids) == 1 else None,
+                route=self.route,
+                size=len(batch),
+                reason=reason,
+                requests=list(request_ids),
+            ):
+                results = self._runner([entry[0] for entry in batch])
             if len(results) != len(batch):
                 raise RuntimeError(
                     f"runner returned {len(results)} results for a batch "
                     f"of {len(batch)}"
                 )
         except BaseException as error:  # noqa: BLE001 - forwarded to futures
-            for _item, future, _t in batch:
-                _fail_future(future, error)
+            for entry in batch:
+                _fail_future(entry[1], error)
             return
-        for (_item, future, _t), result in zip(batch, results):
+        for (_item, future, _t, _ctx), result in zip(batch, results):
             # A timed-out close() may have failed this future already;
             # delivering into a done future would raise InvalidStateError
             # and kill the flusher mid-batch.

@@ -45,6 +45,8 @@ from __future__ import annotations
 import copy
 import dataclasses
 import json
+import logging
+import re
 import signal
 import threading
 import time
@@ -52,12 +54,17 @@ from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
+from urllib.parse import parse_qs, urlsplit
 
 from ..ann import AnnConfig
 from ..constants import DEFAULT_OPEN_WINDOW_DA, DEFAULT_STANDARD_WINDOW_DA
 from ..index.library import LibraryIndex
 from ..index.sharded import ShardedSearcher
 from ..ms.spectrum import Spectrum
+from ..obs.export import chrome_trace
+from ..obs.logging import ensure_default_logging
+from ..obs.slowlog import DEFAULT_SLOW_MS, SlowQueryLog, stage_breakdown
+from ..obs.trace import DEFAULT_CAPACITY, get_tracer, new_request_id
 from ..oms.batch import BatchedHDOmsSearcher
 from ..oms.candidates import WindowConfig
 from ..oms.psm import PSM
@@ -73,6 +80,12 @@ from .protocol import (
     spectrum_from_payload,
 )
 from .scheduler import MicroBatchScheduler
+
+logger = logging.getLogger(__name__)
+
+#: Client-supplied request ids must match this or be replaced (they end
+#: up in log lines, trace exports, and response headers verbatim).
+_REQUEST_ID_PATTERN = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
 
 
 @dataclass(frozen=True)
@@ -194,8 +207,12 @@ class SearchService:
     ) -> None:
         self.config = config or ServiceConfig()
         self.route = route
+        self._owns_metrics = metrics is None
         self.metrics = metrics or ServiceMetrics()
         self._route_metrics: RouteMetrics = self.metrics.for_route(route)
+        # Bridge finished tracer spans into the per-stage histogram;
+        # idempotent, so routes sharing one ServiceMetrics attach once.
+        self.metrics.attach(get_tracer())
         if isinstance(index, (str, Path)):
             self.index_path: Optional[Path] = Path(index)
             self.index = LibraryIndex.load(self.index_path)
@@ -224,6 +241,7 @@ class SearchService:
             max_batch=self.config.max_batch,
             max_wait_ms=self.config.max_wait_ms,
             flush_observer=self._route_metrics.flush_event,
+            route=route,
         )
         self._stats_lock = threading.Lock()
         self._search_requests = 0
@@ -306,7 +324,13 @@ class SearchService:
         with self._engine_lock:
             fingerprint = self._fingerprint
             generation = self._generation
-            result = self._engine.search(renamed)
+            with get_tracer().span(
+                "engine.search",
+                route=self.route,
+                batch=len(renamed),
+                engine=self._engine_label,
+            ):
+                result = self._engine.search(renamed)
             # Cumulative engine counters, captured while no other batch
             # can run: successive snapshots of one generation are
             # monotone, so per-batch deltas are well defined.
@@ -381,21 +405,37 @@ class SearchService:
         self._route_metrics.observe_latency(elapsed)
 
     def search_one_detailed(
-        self, spectrum: Spectrum
+        self, spectrum: Spectrum, request_id: Optional[str] = None
     ) -> Tuple[Optional[PSM], bool]:
-        """``(psm_or_none, served_from_cache)`` for one spectrum."""
+        """``(psm_or_none, served_from_cache)`` for one spectrum.
+
+        ``request_id`` (ingress-generated by the HTTP handler, or any
+        caller-chosen token) names this request's spans in the trace.
+        """
         started = time.perf_counter()
+        tracer = get_tracer()
         with self._stats_lock:
             self._search_requests += 1
         self._route_metrics.observe_request("search")
-        digest, cached = self._lookup(spectrum)
-        if cached is not MISSING:
-            psm = cached
-            if psm is not None:
-                psm = dataclasses.replace(psm, query_id=spectrum.identifier)
-            self._record_latency(started)
-            return psm, True
-        psm = self._finish(digest, self.scheduler.submit(spectrum).result())
+        with tracer.span(
+            "service.search", request_id=request_id, route=self.route
+        ) as root:
+            with tracer.span("service.cache_lookup") as span:
+                digest, cached = self._lookup(spectrum)
+                span.tag(hit=cached is not MISSING)
+            if cached is not MISSING:
+                psm = cached
+                if psm is not None:
+                    psm = dataclasses.replace(
+                        psm, query_id=spectrum.identifier
+                    )
+                root.tag(cached=True)
+                self._record_latency(started)
+                return psm, True
+            with tracer.span("service.await_batch"):
+                outcome = self.scheduler.submit(spectrum).result()
+            psm = self._finish(digest, outcome)
+            root.tag(cached=False)
         self._record_latency(started)
         return psm, False
 
@@ -403,42 +443,59 @@ class SearchService:
         """Search one spectrum (micro-batched + cached under the hood)."""
         return self.search_one_detailed(spectrum)[0]
 
-    def search_many(self, spectra: Sequence[Spectrum]) -> List[Optional[PSM]]:
+    def search_many(
+        self,
+        spectra: Sequence[Spectrum],
+        request_id: Optional[str] = None,
+    ) -> List[Optional[PSM]]:
         """Search several spectra in one submission.
 
         The whole list enters the scheduler at once, so it typically
-        runs as one vectorized batch.
+        runs as one vectorized batch.  ``request_id`` names the whole
+        submission's spans in the trace.
         """
         started = time.perf_counter()
+        tracer = get_tracer()
         with self._stats_lock:
             self._batch_requests += 1
         self._route_metrics.observe_request("search_batch")
-        results: List[Optional[PSM]] = [None] * len(spectra)
-        # Coalesce duplicate spectra within the request: one search per
-        # unique digest, fanned back out to every position.
-        misses: Dict[str, List[int]] = {}
-        for position, spectrum in enumerate(spectra):
-            digest, cached = self._lookup(spectrum)
-            if cached is not MISSING:
-                if cached is not None:
-                    results[position] = dataclasses.replace(
-                        cached, query_id=spectrum.identifier
-                    )
-                continue
-            misses.setdefault(digest, []).append(position)
-        futures = self.scheduler.submit_many(
-            [spectra[positions[0]] for positions in misses.values()]
-        )
-        for (digest, positions), future in zip(misses.items(), futures):
-            psm = self._finish(digest, future.result())
-            for position in positions:
-                results[position] = (
-                    dataclasses.replace(
-                        psm, query_id=spectra[position].identifier
-                    )
-                    if psm is not None
-                    else None
+        with tracer.span(
+            "service.search_batch",
+            request_id=request_id,
+            route=self.route,
+            spectra=len(spectra),
+        ) as root:
+            results: List[Optional[PSM]] = [None] * len(spectra)
+            # Coalesce duplicate spectra within the request: one search
+            # per unique digest, fanned back out to every position.
+            misses: Dict[str, List[int]] = {}
+            with tracer.span("service.cache_lookup") as span:
+                for position, spectrum in enumerate(spectra):
+                    digest, cached = self._lookup(spectrum)
+                    if cached is not MISSING:
+                        if cached is not None:
+                            results[position] = dataclasses.replace(
+                                cached, query_id=spectrum.identifier
+                            )
+                        continue
+                    misses.setdefault(digest, []).append(position)
+                span.tag(misses=len(misses), spectra=len(spectra))
+            root.tag(misses=len(misses))
+            with tracer.span("service.await_batch"):
+                futures = self.scheduler.submit_many(
+                    [spectra[positions[0]] for positions in misses.values()]
                 )
+                outcomes = [future.result() for future in futures]
+            for (digest, positions), outcome in zip(misses.items(), outcomes):
+                psm = self._finish(digest, outcome)
+                for position in positions:
+                    results[position] = (
+                        dataclasses.replace(
+                            psm, query_id=spectra[position].identifier
+                        )
+                        if psm is not None
+                        else None
+                    )
         self._record_latency(started)
         return results
 
@@ -511,6 +568,13 @@ class SearchService:
         self._route_metrics.observe_reload()
         if hasattr(old_engine, "close"):
             old_engine.close()
+        logger.info(
+            "route %s reloaded from %s (%d references, engine=%s)",
+            self.route,
+            path,
+            new_index.num_references,
+            new_label,
+        )
         return new_index.summary()
 
     def set_ann(
@@ -580,6 +644,12 @@ class SearchService:
         self._route_metrics.observe_reload()
         if hasattr(old_engine, "close"):
             old_engine.close()
+        logger.info(
+            "route %s ANN prefilter %s (engine=%s)",
+            self.route,
+            "enabled" if enabled else "disabled",
+            new_label,
+        )
         return new_label
 
     # ------------------------------------------------------------------
@@ -643,7 +713,7 @@ class SearchService:
             "requests": requests,
             "latency": latency,
             "cache": self.cache.stats(),
-            "scheduler": self.scheduler.stats.snapshot(),
+            "scheduler": self.scheduler.snapshot(),
             "engine": {
                 "name": self.engine_name,
                 "mode": self.config.mode,
@@ -682,6 +752,10 @@ class SearchService:
             engine = self._engine
         if hasattr(engine, "close"):
             engine.close()
+        if self._owns_metrics:
+            # Shared (registry-owned) metrics stay attached: sibling
+            # routes are still exporting stage histograms through them.
+            self.metrics.detach(get_tracer())
 
     def __enter__(self) -> "SearchService":
         return self
@@ -719,7 +793,13 @@ class SearchServer(ThreadingHTTPServer):
     #: connection, so server_close() can join their threads.
     draining = False
 
-    def __init__(self, address, service, quiet: bool = True):
+    def __init__(
+        self,
+        address,
+        service,
+        quiet: bool = True,
+        slow_ms: float = DEFAULT_SLOW_MS,
+    ):
         from .registry import IndexRegistry
 
         super().__init__(address, SearchRequestHandler)
@@ -730,6 +810,9 @@ class SearchServer(ThreadingHTTPServer):
             self.registry = service
             self._implicit_registry = False
         self.quiet = quiet
+        #: Ring buffer behind ``/debug/slow``; requests slower than
+        #: ``slow_ms`` are recorded with their per-stage breakdown.
+        self.slowlog = SlowQueryLog(threshold_ms=slow_ms)
 
     @property
     def service(self) -> SearchService:
@@ -777,7 +860,11 @@ class SearchRequestHandler(BaseHTTPRequestHandler):
     # -- plumbing ------------------------------------------------------
 
     def _send_body(
-        self, status: int, body: bytes, content_type: str
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        request_id: Optional[str] = None,
     ) -> None:
         if status >= 400 or getattr(self.server, "draining", False):
             # Error paths may leave an unread request body on the
@@ -790,14 +877,62 @@ class SearchRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if request_id is not None:
+            self.send_header("X-Request-Id", request_id)
         if self.close_connection:
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: dict,
+        request_id: Optional[str] = None,
+    ) -> None:
         self._send_body(
-            status, json.dumps(payload).encode("utf-8"), "application/json"
+            status,
+            json.dumps(payload).encode("utf-8"),
+            "application/json",
+            request_id=request_id,
+        )
+
+    def _request_id(self) -> str:
+        """The request's trace id: client-supplied when sane, else fresh.
+
+        A client may pin its own ``X-Request-Id`` (to correlate with
+        its logs); anything not matching the safe token pattern is
+        replaced, since the id is echoed into headers and log lines.
+        """
+        supplied = self.headers.get("X-Request-Id")
+        if supplied and _REQUEST_ID_PATTERN.match(supplied):
+            return supplied
+        return new_request_id()
+
+    def _observe_slow(
+        self,
+        started: float,
+        request_id: str,
+        route: str,
+        endpoint: str,
+        **extra: object,
+    ) -> None:
+        """Offer one finished request to the server's slow-query log."""
+        slowlog = getattr(self.server, "slowlog", None)
+        if slowlog is None:
+            return
+        elapsed_ms = 1000.0 * (time.perf_counter() - started)
+        stages = None
+        tracer = get_tracer()
+        if tracer.enabled and elapsed_ms >= slowlog.threshold_ms:
+            stages = stage_breakdown(tracer.spans_for(request_id))
+        slowlog.observe(
+            elapsed_ms,
+            request_id=request_id,
+            route=route,
+            endpoint=endpoint,
+            stages=stages,
+            **extra,
         )
 
     def _send_text(self, status: int, text: str, content_type: str) -> None:
@@ -839,17 +974,30 @@ class SearchRequestHandler(BaseHTTPRequestHandler):
     # -- routes --------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        """Serve the read-only endpoints: /healthz, /stats, /metrics."""
+        """Read-only endpoints: /healthz, /stats, /metrics, /debug/*."""
         try:
-            if self.path == "/healthz":
+            parsed = urlsplit(self.path)
+            if parsed.path == "/healthz":
                 self._send_json(200, self.registry.healthz())
-            elif self.path == "/stats":
+            elif parsed.path == "/stats":
                 self._send_json(200, self.registry.stats())
-            elif self.path == "/metrics":
+            elif parsed.path == "/metrics":
                 self._send_text(
                     200,
                     self.registry.render_metrics(),
                     "text/plain; version=0.0.4; charset=utf-8",
+                )
+            elif parsed.path == "/debug/slow":
+                slowlog = getattr(self.server, "slowlog", None)
+                if slowlog is None:
+                    self._send_json(404, {"error": "slow-query log not enabled"})
+                else:
+                    self._send_json(200, slowlog.snapshot())
+            elif parsed.path == "/debug/trace":
+                params = parse_qs(parsed.query)
+                request_id = params.get("request_id", [None])[0]
+                self._send_json(
+                    200, chrome_trace(get_tracer(), request_id=request_id)
                 )
             else:
                 self._send_json(404, {"error": f"unknown path {self.path!r}"})
@@ -894,18 +1042,26 @@ class SearchRequestHandler(BaseHTTPRequestHandler):
             )
         service = self.registry.get(route)
         spectrum = spectrum_from_payload(payload)
+        request_id = self._request_id()
         started = time.perf_counter()
-        psm, cached = service.search_one_detailed(spectrum)
-        self._send_json(
-            200,
-            {
-                "psm": psm.to_dict() if psm is not None else None,
-                "cached": cached,
-                "route": service.route,
-                "elapsed_ms": round(
-                    1000.0 * (time.perf_counter() - started), 3
-                ),
-            },
+        psm, cached = service.search_one_detailed(
+            spectrum, request_id=request_id
+        )
+        response = {
+            "psm": psm.to_dict() if psm is not None else None,
+            "cached": cached,
+            "route": service.route,
+            "request_id": request_id,
+            "elapsed_ms": round(
+                1000.0 * (time.perf_counter() - started), 3
+            ),
+        }
+        with get_tracer().span(
+            "service.serialize", request_id=request_id, route=service.route
+        ):
+            self._send_json(200, response, request_id=request_id)
+        self._observe_slow(
+            started, request_id, service.route, "search", cached=cached
         )
 
     def _handle_search_batch(self) -> None:
@@ -917,19 +1073,29 @@ class SearchRequestHandler(BaseHTTPRequestHandler):
             raise ProtocolError('"spectra" must be a list')
         service = self.registry.get(route_from_payload(payload))
         spectra = [spectrum_from_payload(entry) for entry in spectra_payload]
+        request_id = self._request_id()
         started = time.perf_counter()
-        psms = service.search_many(spectra)
-        self._send_json(
-            200,
-            {
-                "psms": [
-                    psm.to_dict() if psm is not None else None for psm in psms
-                ],
-                "route": service.route,
-                "elapsed_ms": round(
-                    1000.0 * (time.perf_counter() - started), 3
-                ),
-            },
+        psms = service.search_many(spectra, request_id=request_id)
+        response = {
+            "psms": [
+                psm.to_dict() if psm is not None else None for psm in psms
+            ],
+            "route": service.route,
+            "request_id": request_id,
+            "elapsed_ms": round(
+                1000.0 * (time.perf_counter() - started), 3
+            ),
+        }
+        with get_tracer().span(
+            "service.serialize", request_id=request_id, route=service.route
+        ):
+            self._send_json(200, response, request_id=request_id)
+        self._observe_slow(
+            started,
+            request_id,
+            service.route,
+            "search_batch",
+            spectra=len(spectra),
         )
 
     def _handle_reload(self) -> None:
@@ -1014,14 +1180,18 @@ class SearchRequestHandler(BaseHTTPRequestHandler):
 
 
 def start_server(
-    service, host: str = "127.0.0.1", port: int = 0
+    service,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    slow_ms: float = DEFAULT_SLOW_MS,
 ) -> SearchServer:
     """Bind a :class:`SearchServer` (port 0 = ephemeral); caller serves.
 
     ``service`` may be a single :class:`SearchService` or an
     :class:`~repro.service.registry.IndexRegistry` fronting several.
+    ``slow_ms`` is the ``/debug/slow`` recording threshold.
     """
-    return SearchServer((host, port), service)
+    return SearchServer((host, port), service, slow_ms=slow_ms)
 
 
 def serve(
@@ -1032,6 +1202,9 @@ def serve(
     quiet: bool = False,
     default_route: Optional[str] = None,
     drain_timeout: float = 30.0,
+    slow_ms: float = DEFAULT_SLOW_MS,
+    trace: bool = True,
+    trace_capacity: int = DEFAULT_CAPACITY,
 ) -> int:
     """Run the service until SIGINT/SIGTERM; drains before exiting.
 
@@ -1045,15 +1218,26 @@ def serve(
     engine: if joining the in-flight handlers takes longer, their
     pending futures are failed (clients get errors, not silence) so
     the process still exits.
+
+    ``trace`` enables the process tracer for the server's lifetime
+    (restored on exit), sizing its ring buffer to ``trace_capacity``
+    spans; ``slow_ms`` is the ``/debug/slow`` recording threshold.
     """
     from .registry import IndexRegistry
 
+    ensure_default_logging()
+    tracer = get_tracer()
+    tracer_was_enabled = tracer.enabled
+    if trace:
+        tracer.enable(trace_capacity)
     try:
         registry = IndexRegistry(
             index_path, default_route=default_route, config=config
         )
-        server = start_server(registry, host, port)
+        server = start_server(registry, host, port, slow_ms=slow_ms)
     except (ValueError, OSError) as error:
+        if trace and not tracer_was_enabled:
+            tracer.disable()
         raise ServiceStartupError(str(error)) from error
     server.quiet = quiet
 
@@ -1073,13 +1257,22 @@ def serve(
     bound_host, bound_port = server.server_address[:2]
     for name in registry.route_names():
         marker = " (default)" if name == registry.default_route else ""
-        print(f"route {name}{marker}: {registry.get(name).index.summary()}")
+        logger.info(
+            "route %s%s: %s", name, marker, registry.get(name).index.summary()
+        )
     service_config = registry.get().config
-    print(
-        f"listening on http://{bound_host}:{bound_port} "
-        f"(max_batch={service_config.max_batch}, "
-        f"max_wait_ms={service_config.max_wait_ms})",
-        flush=True,
+    # The "listening on http://host:port" phrasing is load-bearing:
+    # supervisors (and the fault-injection tests) parse the bound port
+    # out of this exact line.
+    logger.info(
+        "listening on http://%s:%s (max_batch=%s, max_wait_ms=%s, "
+        "slow_ms=%s, trace=%s)",
+        bound_host,
+        bound_port,
+        service_config.max_batch,
+        service_config.max_wait_ms,
+        slow_ms,
+        trace,
     )
     try:
         server.serve_forever()
@@ -1102,5 +1295,7 @@ def serve(
             registry.close(timeout=drain_timeout)
         for signum, previous in installed:
             signal.signal(signum, previous)
-        print("service drained and closed", flush=True)
+        if trace and not tracer_was_enabled:
+            tracer.disable()
+        logger.info("service drained and closed")
     return 0
