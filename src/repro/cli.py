@@ -239,6 +239,26 @@ def _add_index_parser(subparsers) -> None:
         help="process-pool size (0 = no multiprocessing)",
     )
     search.add_argument(
+        "--executor",
+        choices=("process", "thread"),
+        default="process",
+        help=(
+            "parallel scoring mode: process = worker pool over a shared-"
+            "memory arena, thread = in-process threads over the same "
+            "arena (zero IPC)"
+        ),
+    )
+    search.add_argument(
+        "--score-block-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "rows per scoring block (cache tiling; default auto, "
+            "0 = untiled; never changes results)"
+        ),
+    )
+    search.add_argument(
         "--mode", choices=("open", "standard", "cascade"), default="open"
     )
     search.add_argument(
@@ -328,6 +348,25 @@ def _add_serve_parser(subparsers) -> None:
         type=int,
         default=0,
         help="process-pool size for the sharded engine (0 = in-process)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("process", "thread"),
+        default="process",
+        help=(
+            "sharded-engine scoring mode: process = worker pool over a "
+            "shared-memory arena, thread = in-process threads (zero IPC)"
+        ),
+    )
+    parser.add_argument(
+        "--score-block-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "rows per scoring block (cache tiling; default auto, "
+            "0 = untiled; never changes results)"
+        ),
     )
     parser.add_argument(
         "--backend", choices=("dense", "packed"), default="dense"
@@ -799,6 +838,8 @@ def _cmd_index_search(args) -> int:
         config=HDSearchConfig(mode=args.mode, ann=ann),
         backend=args.backend,
         num_workers=args.workers,
+        executor=args.executor,
+        score_block_rows=args.score_block_rows,
     ) as searcher:
         if streaming:
             code = _stream_jsonl_search(
@@ -894,6 +935,8 @@ def cmd_serve(args) -> int:
             open_window_da=args.open_window,
             standard_tolerance_da=DEFAULT_STANDARD_WINDOW_DA,
             ann=_ann_config_from_args(args),
+            executor=args.executor,
+            score_block_rows=args.score_block_rows,
         )
     except ValueError as error:
         print(f"serve: {error}", file=sys.stderr)

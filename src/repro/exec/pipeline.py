@@ -1,0 +1,86 @@
+"""Encode/score stage overlap via a bounded producer queue.
+
+:func:`pipeline_map` is the software analogue of RapidOMS's
+encode/score pipeline: a producer thread runs ``func`` (the encode
+stage) over micro-batches *ahead* of the consumer (the scoring stage),
+at most :data:`PIPELINE_DEPTH` results in flight.  The consumer
+receives results strictly in submission order, so downstream RNG draws
+(bit-error injection) and the PSM stream are byte-for-byte identical
+to the sequential schedule — only the wall clock changes.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable, Iterable, Iterator, TypeVar
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+#: Encoded micro-batches allowed in flight ahead of the consumer.  Two
+#: is enough to hide the encode stage entirely (batch ``k+1`` encodes
+#: while ``k`` scores) without queueing unbounded hypervector matrices.
+PIPELINE_DEPTH = 2
+
+
+def pipeline_map(
+    func: Callable[[ItemT], ResultT],
+    items: Iterable[ItemT],
+    depth: int = PIPELINE_DEPTH,
+) -> Iterator[ResultT]:
+    """Yield ``func(item)`` in order, computed ahead in a worker thread.
+
+    With zero or one item the call is inlined — no thread, no queue —
+    so single-micro-batch searches (the service's common case) pay
+    nothing for the pipeline machinery.  Exceptions raised by ``func``
+    propagate to the consumer at the position they occurred; closing
+    the generator early stops the producer promptly.
+    """
+    items = list(items)
+    if depth < 1:
+        raise ValueError(f"depth must be >= 1, got {depth}")
+    if len(items) <= 1:
+        for item in items:
+            yield func(item)
+        return
+
+    results: "queue.Queue" = queue.Queue(maxsize=depth)
+    stop = threading.Event()
+
+    def _produce() -> None:
+        for item in items:
+            try:
+                outcome = ("ok", func(item))
+            except BaseException as error:  # propagated to the consumer
+                outcome = ("error", error)
+            while not stop.is_set():
+                try:
+                    results.put(outcome, timeout=0.1)
+                    break
+                except queue.Full:
+                    continue
+            if stop.is_set() or outcome[0] == "error":
+                return
+        while not stop.is_set():
+            try:
+                results.put(("done", None), timeout=0.1)
+                return
+            except queue.Full:
+                continue
+
+    producer = threading.Thread(
+        target=_produce, name="repro-encode", daemon=True
+    )
+    producer.start()
+    try:
+        while True:
+            kind, value = results.get()
+            if kind == "done":
+                return
+            if kind == "error":
+                raise value
+            yield value
+    finally:
+        stop.set()
+        producer.join()

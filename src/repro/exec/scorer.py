@@ -1,0 +1,209 @@
+"""Per-shard scoring shared by every execution mode.
+
+:class:`ShardScorer` is the unit of work each executor runs: one
+shard's prepared similarity backend plus its per-charge mass index,
+built from a *payload* dict (see :func:`shard_payload`).  Serial,
+thread, and process execution all construct the identical scorer from
+identical inputs, which is what keeps the three modes bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from ..ann import OUTCOMES, CandidatePrefilter, HammingLSHIndex
+from ..hdc.packing import unpack_bipolar
+from ..oms.search import DenseBackend, PackedBackend
+
+#: Named backend factories usable across process boundaries.
+BACKEND_FACTORIES: Dict[str, Callable] = {
+    "dense": DenseBackend,
+    "packed": PackedBackend,
+}
+
+#: The ANN table arrays persisted per shard (``HammingLSHIndex.to_arrays``).
+ANN_ARRAY_KEYS = ("ann_bit_positions", "ann_sorted_keys", "ann_row_order")
+
+
+def resolve_backend(backend: Union[str, Callable]) -> Callable:
+    """Map a backend name (or pass through a factory) to its factory.
+
+    Raises:
+        ValueError: For names outside :data:`BACKEND_FACTORIES`.
+    """
+    if callable(backend):
+        return backend
+    try:
+        return BACKEND_FACTORIES[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of "
+            f"{sorted(BACKEND_FACTORIES)} or a factory callable"
+        ) from None
+
+
+def shard_payload(
+    shard_id: int,
+    bounds: Tuple[int, int],
+    packed: np.ndarray,
+    masses: np.ndarray,
+    charges: np.ndarray,
+    *,
+    dim: int,
+    backend: Union[str, Callable],
+    charge_aware: bool,
+    ann=None,
+    ann_tables: Optional[HammingLSHIndex] = None,
+    score_block_rows: Optional[int] = None,
+) -> Dict:
+    """Build one shard's scorer payload from whole-library arrays.
+
+    ``packed`` / ``masses`` / ``charges`` are the *full* library arrays
+    (typically zero-copy views into a
+    :class:`~repro.exec.arena.SharedShardArena`); the shard's
+    ``bounds = (start, stop)`` row range is sliced out as views, never
+    copied — shards are contiguous row ranges by construction.
+    """
+    start, stop = bounds
+    return {
+        "shard_id": shard_id,
+        "positions": np.arange(start, stop, dtype=np.int64),
+        "packed": packed[start:stop],
+        "dim": dim,
+        "masses": masses[start:stop],
+        "charges": charges[start:stop],
+        "backend": backend,
+        "charge_aware": charge_aware,
+        "ann": ann,
+        "ann_tables": ann_tables,
+        "score_block_rows": score_block_rows,
+    }
+
+
+class ShardScorer:
+    """One shard's prepared backend plus its per-charge mass index."""
+
+    def __init__(self, payload: Dict) -> None:
+        dim = int(payload["dim"])
+        packed = np.asarray(payload["packed"])
+        self.backend = resolve_backend(payload["backend"])()
+        block_rows = payload.get("score_block_rows")
+        if block_rows is not None and hasattr(self.backend, "set_block_rows"):
+            self.backend.set_block_rows(block_rows)
+        if hasattr(self.backend, "prepare_packed"):
+            # The payload already uses pack_bipolar layout — skip the
+            # unpack/re-pack round trip (8x transient memory otherwise).
+            self.backend.prepare_packed(packed, dim)
+        else:
+            self.backend.prepare(unpack_bipolar(packed, dim))
+        self.global_positions = np.asarray(payload["positions"])
+        masses = np.asarray(payload["masses"], dtype=np.float64)
+        charges = np.asarray(payload["charges"], dtype=np.int64)
+        self.charge_aware = bool(payload["charge_aware"])
+        # Mirrors CandidateIndex: stable mass sort per charge bucket, so
+        # equal-mass ties stay ordered by (global) library position.
+        self._buckets: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        if self.charge_aware:
+            for charge in np.unique(charges):
+                local = np.flatnonzero(charges == charge)
+                order = np.argsort(masses[local], kind="stable")
+                local = local[order]
+                self._buckets[int(charge)] = (masses[local], local)
+        else:
+            order = np.argsort(masses, kind="stable")
+            self._buckets[0] = (masses[order], np.arange(len(masses))[order])
+        # Optional ANN prefilter: each shard hashes its *own* rows, so
+        # the shortlist union across shards is at least as inclusive as
+        # one global prefilter (every shard gets its full candidate
+        # budget).  Pre-built tables (from the arena) are adopted as-is;
+        # building here from the same rows + config yields identical
+        # tables, so both paths stay bit-identical.
+        self._local_masses = masses
+        self.prefilter: Optional[CandidatePrefilter] = None
+        ann = payload.get("ann")
+        tables = payload.get("ann_tables")
+        if tables is not None:
+            self.prefilter = CandidatePrefilter(
+                tables, masses, charges, charge_aware=self.charge_aware
+            )
+        elif ann is not None:
+            lsh = HammingLSHIndex.build(packed, dim, ann)
+            self.prefilter = CandidatePrefilter(
+                lsh, masses, charges, charge_aware=self.charge_aware
+            )
+
+    def score_batch(
+        self,
+        query_hvs: np.ndarray,
+        query_masses: np.ndarray,
+        query_charges: np.ndarray,
+        half_width: float,
+    ) -> Tuple[np.ndarray, ...]:
+        """Best candidate per query within this shard.
+
+        Returns ``(counts, best_scores, best_masses, best_positions,
+        ann_outcomes, ann_scored_rows)`` where empty windows yield
+        ``(0, -inf, +inf, -1)`` so they lose every merge comparison.
+        ``counts`` holds full precursor-window sizes (even under ANN) so
+        ``min_candidates`` gating in the parent is unchanged;
+        ``ann_outcomes`` is a length-3 count vector in
+        :data:`repro.ann.OUTCOMES` order and ``ann_scored_rows`` the
+        rows actually scored (both all-zero without a prefilter).
+        """
+        num_queries = len(query_masses)
+        counts = np.zeros(num_queries, dtype=np.int64)
+        best_scores = np.full(num_queries, -np.inf, dtype=np.float64)
+        best_masses = np.full(num_queries, np.inf, dtype=np.float64)
+        best_positions = np.full(num_queries, -1, dtype=np.int64)
+        ann_outcomes = np.zeros(len(OUTCOMES), dtype=np.int64)
+        ann_scored = np.zeros(1, dtype=np.int64)
+        for row in range(num_queries):
+            if self.prefilter is not None:
+                selection = self.prefilter.select(
+                    query_hvs[row],
+                    float(query_masses[row]),
+                    int(query_charges[row]),
+                    half_width,
+                )
+                ann_outcomes[OUTCOMES.index(selection.outcome)] += 1
+                ann_scored[0] += len(selection.positions)
+                if selection.window_count == 0:
+                    continue
+                window = selection.positions
+                scores = self.backend.scores(query_hvs[row], window)
+                best = int(np.argmax(scores))
+                counts[row] = selection.window_count
+                best_scores[row] = float(scores[best])
+                best_masses[row] = float(self._local_masses[window[best]])
+                best_positions[row] = int(self.global_positions[window[best]])
+                continue
+            key = int(query_charges[row]) if self.charge_aware else 0
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                continue
+            sorted_masses, local_positions = bucket
+            low = np.searchsorted(
+                sorted_masses, query_masses[row] - half_width, "left"
+            )
+            high = np.searchsorted(
+                sorted_masses, query_masses[row] + half_width, "right"
+            )
+            if high <= low:
+                continue
+            window = local_positions[low:high]
+            scores = self.backend.scores(query_hvs[row], window)
+            best = int(np.argmax(scores))
+            counts[row] = high - low
+            best_scores[row] = float(scores[best])
+            best_masses[row] = float(sorted_masses[low + best])
+            best_positions[row] = int(self.global_positions[window[best]])
+        return (
+            counts,
+            best_scores,
+            best_masses,
+            best_positions,
+            ann_outcomes,
+            ann_scored,
+        )

@@ -19,6 +19,7 @@ from .similarity import (
     batch_dot_similarity,
     dot_similarity,
     hamming_similarity,
+    packed_dot_scores,
     packed_hamming_distance,
     top_k,
 )
@@ -26,6 +27,7 @@ from .packing import (
     bipolar_to_bits,
     bits_to_bipolar,
     cells_per_hypervector,
+    hamming_rowsums,
     pack_bipolar,
     pack_cells,
     popcount,
@@ -58,8 +60,10 @@ __all__ = [
     "bipolar_to_bits",
     "bits_to_bipolar",
     "cells_per_hypervector",
+    "hamming_rowsums",
     "pack_bipolar",
     "pack_cells",
+    "packed_dot_scores",
     "popcount",
     "unpack_bipolar",
     "unpack_cells",

@@ -18,13 +18,14 @@ from typing import Optional
 
 import numpy as np
 
-from .packing import pack_bipolar, popcount
+from .packing import hamming_rowsums, pack_bipolar
 
 __all__ = [
     "dot_similarity",
     "hamming_similarity",
     "batch_dot_similarity",
     "packed_hamming_distance",
+    "packed_dot_scores",
     "PackedReferenceSet",
     "top_k",
 ]
@@ -68,7 +69,35 @@ def packed_hamming_distance(
     This is the digital-hardware reference implementation (XOR +
     popcount) used to cross-check the matmul path.
     """
-    return popcount(np.bitwise_xor(packed_a, packed_b)).sum(axis=-1)
+    return hamming_rowsums(packed_a, packed_b)
+
+
+def packed_dot_scores(
+    packed_rows: np.ndarray,
+    packed_query: np.ndarray,
+    dim: int,
+    block_rows: Optional[int] = None,
+) -> np.ndarray:
+    """Dot-product scores of packed rows against one packed query.
+
+    ``dot = dim - 2 * hamming`` for bipolar vectors, returned as int32
+    (matching the dense backend).  With ``block_rows`` set, rows are
+    scored in blocks of that many at a time so the XOR buffer stays
+    cache-resident instead of streaming a ``(rows, words)`` temporary
+    through memory — bit-identical either way, since every row's score
+    is an independent integer.
+    """
+    rows = np.asarray(packed_rows)
+    num_rows = rows.shape[0]
+    if not block_rows or num_rows <= block_rows:
+        return (dim - 2 * hamming_rowsums(rows, packed_query)).astype(np.int32)
+    out = np.empty(num_rows, dtype=np.int32)
+    for start in range(0, num_rows, block_rows):
+        block = rows[start : start + block_rows]
+        out[start : start + len(block)] = (
+            dim - 2 * hamming_rowsums(block, packed_query)
+        ).astype(np.int32)
+    return out
 
 
 class PackedReferenceSet:

@@ -35,7 +35,7 @@ import time
 import zipfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -206,6 +206,31 @@ class LibraryIndex:
                 f"index holds {n} rows at dim {self.dim}"
             )
         self.ann = ann
+
+    def shard_bounds(self, num_shards: int) -> List[Tuple[int, int]]:
+        """Contiguous ``[start, stop)`` row ranges splitting the library.
+
+        Matches ``np.array_split`` semantics (the first ``n % k`` shards
+        get one extra row), so shard payloads can be zero-copy row-range
+        views of the packed matrix — contiguity is what lets the exec
+        layer share slabs instead of gather copies.
+
+        Raises:
+            ValueError: If ``num_shards`` is outside ``[1, num_rows]``.
+        """
+        total = self.num_references
+        if not 1 <= num_shards <= total:
+            raise ValueError(
+                f"cannot split {total} references into {num_shards} shards"
+            )
+        base, extra = divmod(total, num_shards)
+        bounds: List[Tuple[int, int]] = []
+        start = 0
+        for shard in range(num_shards):
+            stop = start + base + (1 if shard < extra else 0)
+            bounds.append((start, stop))
+            start = stop
+        return bounds
 
     # ------------------------------------------------------------------
     # construction

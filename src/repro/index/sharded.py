@@ -1,213 +1,55 @@
 """Sharded parallel open search over a loaded :class:`LibraryIndex`.
 
 The index rows are partitioned into N contiguous shards; each query
-batch is encoded once in the parent and fanned out to a
-``multiprocessing`` pool where workers score their shard through the
-existing :class:`~repro.oms.search.SimilarityBackend` protocol.  The
-parent merges per-query shard winners with the exact tie-break the
-single-process searcher applies (highest score, then lowest precursor
-mass, then lowest library position), so results are **bit-identical** to
-:class:`~repro.oms.search.HDOmsSearcher` for every mode, shard count,
-and worker count.
+micro-batch is encoded once in the parent and fanned out to an
+executor from :mod:`repro.exec`, where workers score their shard
+through the existing :class:`~repro.oms.search.SimilarityBackend`
+protocol.  The parent merges per-query shard winners with the exact
+tie-break the single-process searcher applies (highest score, then
+lowest precursor mass, then lowest library position), so results are
+**bit-identical** to :class:`~repro.oms.search.HDOmsSearcher` for every
+mode, shard count, worker count, and executor.
 
-Shard payloads stay bit-packed until they reach a worker (8x less data
-to fork/pickle); workers unpack lazily and cache the prepared backend,
-so the per-search cost after warm-up is just the query batch shipping
-plus the score merge.
+Parallelism is zero-copy: the packed rows, precursor metadata, and any
+per-shard ANN tables live in one
+:class:`~repro.exec.arena.SharedShardArena` segment created at
+construction.  ``executor="process"`` workers reattach it by name (only
+query batches and winners cross the pipe); ``executor="thread"``
+scores shards concurrently over the parent's own views, relying on the
+GIL-releasing NumPy kernels.  Multi-micro-batch searches additionally
+overlap stages — batch ``k+1`` encodes while batch ``k`` scores — via
+:func:`~repro.exec.pipeline.pipeline_map`.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
-import threading
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..ann import OUTCOMES, AnnStats, CandidatePrefilter, HammingLSHIndex
+from ..ann import AnnStats, HammingLSHIndex
+from ..exec.arena import SharedShardArena
+from ..exec.pipeline import pipeline_map
+from ..exec.pool import ProcessShardExecutor, ThreadShardExecutor
+from ..exec.scorer import ShardScorer, resolve_backend, shard_payload
 from ..hdc.noise import flip_bits
-from ..hdc.packing import pack_bipolar, unpack_bipolar
+from ..hdc.packing import pack_bipolar
 from ..ms.preprocessing import PreprocessingConfig, preprocess
 from ..ms.spectrum import Spectrum
 from ..obs.trace import get_tracer
 from ..oms.candidates import WindowConfig
 from ..oms.psm import PSM, SearchResult
-from ..oms.search import (
-    DenseBackend,
-    HDSearchConfig,
-    PackedBackend,
-    encode_queries,
-)
+from ..oms.search import ENCODE_BLOCK_SIZE, HDSearchConfig, encode_queries
 from .library import LibraryIndex
 
-#: Named backend factories usable across process boundaries.
-BACKEND_FACTORIES: Dict[str, Callable] = {
-    "dense": DenseBackend,
-    "packed": PackedBackend,
-}
-
-#: Per-process worker state, populated by the pool initializer.
-_WORKER_STATE: Dict[str, Dict] = {}
-
-
-def _resolve_backend(backend: Union[str, Callable]) -> Callable:
-    if callable(backend):
-        return backend
-    try:
-        return BACKEND_FACTORIES[backend]
-    except KeyError:
-        raise ValueError(
-            f"unknown backend {backend!r}; expected one of "
-            f"{sorted(BACKEND_FACTORIES)} or a factory callable"
-        ) from None
-
-
-class _ShardScorer:
-    """One shard's prepared backend plus its per-charge mass index."""
-
-    def __init__(self, payload: Dict) -> None:
-        dim = int(payload["dim"])
-        packed = np.asarray(payload["packed"])
-        self.backend = _resolve_backend(payload["backend"])()
-        if hasattr(self.backend, "prepare_packed"):
-            # The payload already uses pack_bipolar layout — skip the
-            # unpack/re-pack round trip (8x transient memory otherwise).
-            self.backend.prepare_packed(packed, dim)
-        else:
-            self.backend.prepare(unpack_bipolar(packed, dim))
-        self.global_positions = np.asarray(payload["positions"])
-        masses = np.asarray(payload["masses"], dtype=np.float64)
-        charges = np.asarray(payload["charges"], dtype=np.int64)
-        self.charge_aware = bool(payload["charge_aware"])
-        # Mirrors CandidateIndex: stable mass sort per charge bucket, so
-        # equal-mass ties stay ordered by (global) library position.
-        self._buckets: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
-        if self.charge_aware:
-            for charge in np.unique(charges):
-                local = np.flatnonzero(charges == charge)
-                order = np.argsort(masses[local], kind="stable")
-                local = local[order]
-                self._buckets[int(charge)] = (masses[local], local)
-        else:
-            order = np.argsort(masses, kind="stable")
-            self._buckets[0] = (masses[order], np.arange(len(masses))[order])
-        # Optional ANN prefilter: each shard hashes its *own* rows, so
-        # the shortlist union across shards is at least as inclusive as
-        # one global prefilter (every shard gets its full candidate
-        # budget).
-        self._local_masses = masses
-        self.prefilter: Optional[CandidatePrefilter] = None
-        ann = payload.get("ann")
-        if ann is not None:
-            lsh = HammingLSHIndex.build(packed, dim, ann)
-            self.prefilter = CandidatePrefilter(
-                lsh, masses, charges, charge_aware=self.charge_aware
-            )
-
-    def score_batch(
-        self,
-        query_hvs: np.ndarray,
-        query_masses: np.ndarray,
-        query_charges: np.ndarray,
-        half_width: float,
-    ) -> Tuple[np.ndarray, ...]:
-        """Best candidate per query within this shard.
-
-        Returns ``(counts, best_scores, best_masses, best_positions,
-        ann_outcomes, ann_scored_rows)`` where empty windows yield
-        ``(0, -inf, +inf, -1)`` so they lose every merge comparison.
-        ``counts`` holds full precursor-window sizes (even under ANN) so
-        ``min_candidates`` gating in the parent is unchanged;
-        ``ann_outcomes`` is a length-3 count vector in
-        :data:`repro.ann.OUTCOMES` order and ``ann_scored_rows`` the
-        rows actually scored (both all-zero without a prefilter).
-        """
-        num_queries = len(query_masses)
-        counts = np.zeros(num_queries, dtype=np.int64)
-        best_scores = np.full(num_queries, -np.inf, dtype=np.float64)
-        best_masses = np.full(num_queries, np.inf, dtype=np.float64)
-        best_positions = np.full(num_queries, -1, dtype=np.int64)
-        ann_outcomes = np.zeros(len(OUTCOMES), dtype=np.int64)
-        ann_scored = np.zeros(1, dtype=np.int64)
-        for row in range(num_queries):
-            if self.prefilter is not None:
-                selection = self.prefilter.select(
-                    query_hvs[row],
-                    float(query_masses[row]),
-                    int(query_charges[row]),
-                    half_width,
-                )
-                ann_outcomes[OUTCOMES.index(selection.outcome)] += 1
-                ann_scored[0] += len(selection.positions)
-                if selection.window_count == 0:
-                    continue
-                window = selection.positions
-                scores = self.backend.scores(query_hvs[row], window)
-                best = int(np.argmax(scores))
-                counts[row] = selection.window_count
-                best_scores[row] = float(scores[best])
-                best_masses[row] = float(self._local_masses[window[best]])
-                best_positions[row] = int(self.global_positions[window[best]])
-                continue
-            key = int(query_charges[row]) if self.charge_aware else 0
-            bucket = self._buckets.get(key)
-            if bucket is None:
-                continue
-            sorted_masses, local_positions = bucket
-            low = np.searchsorted(
-                sorted_masses, query_masses[row] - half_width, "left"
-            )
-            high = np.searchsorted(
-                sorted_masses, query_masses[row] + half_width, "right"
-            )
-            if high <= low:
-                continue
-            window = local_positions[low:high]
-            scores = self.backend.scores(query_hvs[row], window)
-            best = int(np.argmax(scores))
-            counts[row] = high - low
-            best_scores[row] = float(scores[best])
-            best_masses[row] = float(sorted_masses[low + best])
-            best_positions[row] = int(self.global_positions[window[best]])
-        return (
-            counts,
-            best_scores,
-            best_masses,
-            best_positions,
-            ann_outcomes,
-            ann_scored,
-        )
-
-
-def _init_worker(payloads: List[Dict]) -> None:
-    """Pool initializer: stash shard payloads; scorers build lazily."""
-    _WORKER_STATE["payloads"] = {p["shard_id"]: p for p in payloads}
-    _WORKER_STATE["scorers"] = {}
-
-
-def _score_shard_task(task) -> Tuple:
-    """Score one (shard, query batch) pair inside a worker process.
-
-    The second element of the returned tuple is the worker-side wall
-    time of the scoring call, so the parent can merge per-shard spans
-    into its trace without any tracer state crossing the pool boundary.
-    """
-    shard_id, query_hvs, query_masses, query_charges, half_width = task
-    scorer = _WORKER_STATE["scorers"].get(shard_id)
-    if scorer is None:
-        scorer = _ShardScorer(_WORKER_STATE["payloads"][shard_id])
-        _WORKER_STATE["scorers"][shard_id] = scorer
-    started = time.perf_counter()
-    scored = scorer.score_batch(
-        query_hvs, query_masses, query_charges, half_width
-    )
-    return (shard_id, time.perf_counter() - started) + scored
+#: The supported parallel execution modes.
+EXECUTOR_KINDS = ("process", "thread")
 
 
 class ShardedSearcher:
-    """Fan open-modification search across index shards and processes.
+    """Fan open-modification search across index shards and workers.
 
     Parameters
     ----------
@@ -217,12 +59,25 @@ class ShardedSearcher:
         Number of contiguous row partitions (each becomes one scoring
         task per query batch).
     num_workers:
-        Process-pool size; ``None`` picks ``min(num_shards, cpu_count)``
-        and ``0`` disables multiprocessing entirely (shards are scored
-        serially in-process — handy for tests and tiny workloads).
+        Worker count; ``None`` picks ``min(num_shards, cpu_count)`` and
+        ``0`` disables parallelism entirely (shards are scored serially
+        in-process — handy for tests and tiny workloads).
     backend:
         ``"dense"``, ``"packed"``, or a picklable zero-argument factory
         returning a :class:`~repro.oms.search.SimilarityBackend`.
+    executor:
+        ``"process"`` (default; a multiprocessing pool reattaching the
+        shared arena by name) or ``"thread"`` (an in-process thread
+        pool over the same arena — zero IPC, concurrency from
+        GIL-releasing kernels).  Ignored when ``num_workers == 0``.
+    score_block_rows:
+        Rows per scoring block handed to backends that support tiling
+        (``None`` = backend auto-sizes to its cache budget, ``0`` =
+        untiled).  Never changes results.
+    pipeline_batch:
+        Queries per encode micro-batch in :meth:`search`; defaults to
+        :data:`~repro.oms.search.ENCODE_BLOCK_SIZE`.  Batches beyond the
+        first are encoded one stage ahead of scoring.
     encoder:
         Optional pre-built query encoder; validated against the index
         provenance.  By default the encoder is reconstructed from the
@@ -239,6 +94,9 @@ class ShardedSearcher:
         backend: Union[str, Callable] = "dense",
         num_workers: Optional[int] = None,
         encoder=None,
+        executor: str = "process",
+        score_block_rows: Optional[int] = None,
+        pipeline_batch: Optional[int] = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
@@ -247,9 +105,22 @@ class ShardedSearcher:
                 f"cannot split {index.num_references} references into "
                 f"{num_shards} shards"
             )
+        if executor not in EXECUTOR_KINDS:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of "
+                f"{EXECUTOR_KINDS}"
+            )
+        if score_block_rows is not None and score_block_rows < 0:
+            raise ValueError(
+                f"score_block_rows must be >= 0 or None, got {score_block_rows}"
+            )
+        if pipeline_batch is not None and pipeline_batch < 1:
+            raise ValueError(
+                f"pipeline_batch must be >= 1, got {pipeline_batch}"
+            )
         if encoder is not None:
             index.validate(encoder.space.config, encoder.binning)
-        _resolve_backend(backend)  # fail fast on bad names
+        resolve_backend(backend)  # fail fast on bad names
         self.index = index
         self.num_shards = num_shards
         self.encoder = encoder if encoder is not None else index.make_encoder()
@@ -264,11 +135,14 @@ class ShardedSearcher:
         if num_workers is None:
             num_workers = min(num_shards, os.cpu_count() or 1)
         self._num_workers = num_workers
-        self._pool = None
-        self._serial_scorers: Dict[int, _ShardScorer] = {}
+        self._executor_name = executor
+        self._score_block_rows = score_block_rows
+        self._pipeline_batch = pipeline_batch or ENCODE_BLOCK_SIZE
+        self._serial_scorers: Dict[int, ShardScorer] = {}
         self.ann_stats = AnnStats() if self.config.ann is not None else None
 
         self.references = index.records()
+        self._bounds = index.shard_bounds(num_shards)
         packed = np.asarray(index.packed)
         if self.config.reference_ber > 0:
             # Same RNG draw order as HDOmsSearcher: one flip pass over
@@ -277,61 +151,105 @@ class ShardedSearcher:
                 index.hypervectors(), self.config.reference_ber, self._noise_rng
             )
             packed = pack_bipolar(noisy)
-        self._payloads = self._make_payloads(packed)
+        # Kept so a closed searcher can lazily rebuild its arena on the
+        # next search (a view of ``index.packed`` unless BER flipped).
+        self._packed_source = packed
+        self._arena: Optional[SharedShardArena] = None
+        self._executor = None
+        self._payloads: List[Dict] = []
+        if num_workers == 0:
+            # Serial in-process mode needs no shared segment: payloads
+            # are zero-copy row-range views of the packed matrix.
+            self._payloads = [
+                shard_payload(
+                    shard_id,
+                    bounds,
+                    packed,
+                    self.index.neutral_masses,
+                    self.index.charges,
+                    dim=self.index.dim,
+                    backend=self._backend,
+                    charge_aware=self.windows.charge_aware,
+                    ann=self.config.ann,
+                    score_block_rows=score_block_rows,
+                )
+                for shard_id, bounds in enumerate(self._bounds)
+            ]
+        else:
+            self._ensure_executor()
 
     # ------------------------------------------------------------------
-    # sharding / pool plumbing
+    # arena / executor plumbing
     # ------------------------------------------------------------------
 
-    def _make_payloads(self, packed: np.ndarray) -> List[Dict]:
-        payloads = []
-        for shard_id, positions in enumerate(
-            np.array_split(np.arange(self.index.num_references), self.num_shards)
-        ):
-            payloads.append(
-                {
-                    "shard_id": shard_id,
-                    "positions": positions,
-                    "packed": np.ascontiguousarray(packed[positions]),
-                    "dim": self.index.dim,
-                    "masses": self.index.neutral_masses[positions],
-                    "charges": self.index.charges[positions],
-                    "backend": self._backend,
-                    "charge_aware": self.windows.charge_aware,
-                    "ann": self.config.ann,
-                }
-            )
-        return payloads
+    def _ensure_executor(self):
+        """Build (or rebuild, after :meth:`close`) the arena + executor."""
+        if self._executor is None and self._num_workers != 0:
+            self._arena, setup = self._build_arena(self._packed_source)
+            if self._executor_name == "thread":
+                self._executor = ThreadShardExecutor(
+                    self._arena, setup, self._num_workers
+                )
+            else:
+                self._executor = ProcessShardExecutor(setup, self._num_workers)
+        return self._executor
 
-    def _ensure_pool(self):
-        if self._pool is None:
-            context = multiprocessing.get_context()
-            self._pool = context.Pool(
-                processes=self._num_workers,
-                initializer=_init_worker,
-                initargs=(self._payloads,),
-            )
-        return self._pool
+    def _build_arena(
+        self, packed: np.ndarray
+    ) -> Tuple[SharedShardArena, Dict]:
+        """Copy the scoring inputs into shared memory, once.
+
+        Per-shard ANN tables (when configured) are built here in the
+        parent — from exactly the rows and config a worker would use,
+        so the tables are identical — and shipped through the arena
+        instead of being rebuilt N_workers times.
+        """
+        arrays: Dict[str, np.ndarray] = {
+            "packed": packed,
+            "masses": np.asarray(self.index.neutral_masses, dtype=np.float64),
+            "charges": np.asarray(self.index.charges, dtype=np.int64),
+        }
+        ann_provenance = None
+        if self.config.ann is not None:
+            provenance = []
+            for shard_id, (start, stop) in enumerate(self._bounds):
+                lsh = HammingLSHIndex.build(
+                    packed[start:stop], self.index.dim, self.config.ann
+                )
+                provenance.append(lsh.provenance())
+                for key, value in lsh.to_arrays().items():
+                    arrays[f"shard{shard_id}.{key}"] = value
+            ann_provenance = tuple(provenance)
+        arena = SharedShardArena.create(arrays)
+        setup = {
+            "spec": arena.spec(),
+            "dim": self.index.dim,
+            "backend": self._backend,
+            "charge_aware": self.windows.charge_aware,
+            "bounds": tuple(self._bounds),
+            "ann": self.config.ann,
+            "ann_provenance": ann_provenance,
+            "score_block_rows": self._score_block_rows,
+        }
+        return arena, setup
 
     def close(self, timeout: float = 10.0) -> None:
-        """Shut the worker pool down gracefully (idempotent).
+        """Shut the executor down and unlink the arena (idempotent).
 
-        The pool is ``close()``-d and ``join()``-ed so in-flight shard
-        tasks finish instead of being killed mid-request (a long-lived
-        service must not lose answers for queued queries on shutdown).
-        If the join does not complete within ``timeout`` seconds — a
-        wedged worker — the pool falls back to ``terminate()``.
+        In-flight shard tasks get ``timeout`` seconds to finish before
+        the executor falls back to termination — and the shared-memory
+        segment is unlinked **unconditionally** afterwards, including on
+        the terminate-fallback path and when the pool initializer never
+        came up, so no segment can outlive the searcher.
         """
-        pool, self._pool = self._pool, None
-        if pool is None:
-            return
-        pool.close()
-        waiter = threading.Thread(target=pool.join, daemon=True)
-        waiter.start()
-        waiter.join(timeout)
-        if waiter.is_alive():
-            pool.terminate()
-            waiter.join()
+        executor, self._executor = self._executor, None
+        arena, self._arena = self._arena, None
+        try:
+            if executor is not None:
+                executor.close(timeout)
+        finally:
+            if arena is not None:
+                arena.close()
 
     def __enter__(self) -> "ShardedSearcher":
         return self
@@ -360,6 +278,16 @@ class ShardedSearcher:
         suffix = "+ann" if self.config.ann is not None else ""
         return f"sharded-{self._backend_label}x{self.num_shards}{suffix}"
 
+    @property
+    def executor_kind(self) -> str:
+        """The active execution mode: ``process``, ``thread``, ``serial``."""
+        return "serial" if self._num_workers == 0 else self._executor_name
+
+    @property
+    def arena_nbytes(self) -> int:
+        """Shared-memory bytes backing the shards (0 in serial mode)."""
+        return self._arena.nbytes if self._arena is not None else 0
+
     def _score_all_shards(
         self,
         query_hvs: np.ndarray,
@@ -368,26 +296,22 @@ class ShardedSearcher:
         half_width: float,
     ) -> List[Tuple[np.ndarray, ...]]:
         tasks = [
-            (
-                payload["shard_id"],
-                query_hvs,
-                query_masses,
-                query_charges,
-                half_width,
-            )
-            for payload in self._payloads
+            (shard_id, query_hvs, query_masses, query_charges, half_width)
+            for shard_id in range(self.num_shards)
         ]
         tracer = get_tracer()
         with tracer.span(
             "shard.fanout",
             shards=self.num_shards,
             workers=self._num_workers,
+            executor=self.executor_kind,
             queries=len(query_masses),
         ):
-            if self._num_workers == 0:
-                raw = [_score_serial(self._serial_scorers, self._payloads, task) for task in tasks]
+            executor = self._ensure_executor()
+            if executor is None:
+                raw = [_score_serial(self, task) for task in tasks]
             else:
-                raw = self._ensure_pool().map(_score_shard_task, tasks)
+                raw = executor.run(tasks)
             if tracer.enabled:
                 # Workers time their own scoring (a bare float crosses
                 # the pool boundary); merge those timings here as spans
@@ -461,51 +385,80 @@ class ShardedSearcher:
             )
         return results
 
-    def search(self, queries: Sequence[Spectrum]) -> SearchResult:
-        """Search all queries; PSM stream identical to HDOmsSearcher.
+    def _search_batch(
+        self, survivors: Sequence[Tuple[Spectrum, np.ndarray]]
+    ) -> List[Optional[PSM]]:
+        """Noise injection + mode dispatch for one encoded micro-batch.
 
-        The query batch is encoded in fused blocks before the shard
-        fan-out (one vectorized ``encode_batch`` pass per block instead
-        of a per-query Python loop); BER injection stays per query in
-        arrival order, so the PSM stream is unchanged.
+        BER flips draw from the searcher's RNG here — in the consumer
+        stage, per query in arrival order — so the noise stream is
+        identical whether or not the encode stage ran ahead.
         """
-        start = time.perf_counter()
-        unmatched = 0
-        survivors: List[Tuple[Spectrum, Spectrum]] = []
-        for query in queries:
-            processed = preprocess(query, self.preprocessing)
-            if processed is None:
-                unmatched += 1
-                continue
-            survivors.append((query, processed))
-        encoded = encode_queries(
-            self.encoder, [processed for _, processed in survivors]
-        )
         pairs: List[Tuple[Spectrum, np.ndarray]] = []
-        for (query, _processed), query_hv in zip(survivors, encoded):
+        for query, query_hv in survivors:
             if self.config.query_ber > 0:
                 query_hv = flip_bits(
                     query_hv, self.config.query_ber, self._noise_rng
                 )
             pairs.append((query, query_hv))
+        if not pairs:
+            return []
+        if self.config.mode == "cascade":
+            results = self._run_pass(pairs, "standard")
+            retry = [
+                column for column, psm in enumerate(results) if psm is None
+            ]
+            if retry:
+                reopened = self._run_pass(
+                    [pairs[column] for column in retry], "open"
+                )
+                for column, psm in zip(retry, reopened):
+                    results[column] = psm
+            return results
+        return self._run_pass(pairs, self.config.mode)
+
+    def search(self, queries: Sequence[Spectrum]) -> SearchResult:
+        """Search all queries; PSM stream identical to HDOmsSearcher.
+
+        Queries are preprocessed and encoded in micro-batches of
+        ``pipeline_batch`` on a producer thread running one stage ahead
+        of scoring (two-deep bounded queue — encode batch ``k+1`` while
+        batch ``k`` is scored and merged).  Deterministic work (the
+        preprocess + fused ``encode_batch``) moves ahead; everything
+        consuming the searcher's RNG (BER injection) stays in the
+        consumer in arrival order, so the PSM stream is unchanged.
+        """
+        start = time.perf_counter()
+        unmatched = 0
+        chunks = [
+            queries[position : position + self._pipeline_batch]
+            for position in range(0, len(queries), self._pipeline_batch)
+        ]
+
+        def encode_chunk(chunk):
+            survivors = []
+            dropped = 0
+            for query in chunk:
+                processed = preprocess(query, self.preprocessing)
+                if processed is None:
+                    dropped += 1
+                else:
+                    survivors.append((query, processed))
+            encoded = encode_queries(
+                self.encoder, [processed for _, processed in survivors]
+            )
+            return (
+                [
+                    (query, query_hv)
+                    for (query, _processed), query_hv in zip(survivors, encoded)
+                ],
+                dropped,
+            )
 
         results: List[Optional[PSM]] = []
-        if pairs:
-            if self.config.mode == "cascade":
-                results = self._run_pass(pairs, "standard")
-                retry = [
-                    column
-                    for column, psm in enumerate(results)
-                    if psm is None
-                ]
-                if retry:
-                    reopened = self._run_pass(
-                        [pairs[column] for column in retry], "open"
-                    )
-                    for column, psm in zip(retry, reopened):
-                        results[column] = psm
-            else:
-                results = self._run_pass(pairs, self.config.mode)
+        for survivors, dropped in pipeline_map(encode_chunk, chunks):
+            unmatched += dropped
+            results.extend(self._search_batch(survivors))
 
         psms = [psm for psm in results if psm is not None]
         unmatched += sum(1 for psm in results if psm is None)
@@ -518,20 +471,18 @@ class ShardedSearcher:
         )
 
 
-def _score_serial(
-    scorers: Dict[int, _ShardScorer], payloads: List[Dict], task
-) -> Tuple:
+def _score_serial(searcher: ShardedSearcher, task: Tuple) -> Tuple:
     """In-process fallback used when ``num_workers=0``.
 
-    Matches :func:`_score_shard_task`'s return layout, wall time of the
-    scoring call included, so the parent merges spans identically for
-    both execution paths.
+    Matches the executors' result layout, wall time of the scoring call
+    included, so the parent merges spans identically for every
+    execution path.
     """
     shard_id = task[0]
-    scorer = scorers.get(shard_id)
+    scorer = searcher._serial_scorers.get(shard_id)
     if scorer is None:
-        scorer = _ShardScorer(payloads[shard_id])
-        scorers[shard_id] = scorer
+        scorer = ShardScorer(searcher._payloads[shard_id])
+        searcher._serial_scorers[shard_id] = scorer
     started = time.perf_counter()
     scored = scorer.score_batch(*task[1:])
     return (shard_id, time.perf_counter() - started) + scored

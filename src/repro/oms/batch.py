@@ -52,6 +52,7 @@ class BatchedHDOmsSearcher:
         reference_ber: float = 0.0,
         noise_seed: int = 1234,
         ann: Optional[AnnConfig] = None,
+        score_block_rows: Optional[int] = None,
     ) -> None:
         """Encode *references* and lay them out as charge buckets.
 
@@ -67,6 +68,10 @@ class BatchedHDOmsSearcher:
             ann: Optional ANN prefilter config; when set, large windows
                 are shortlisted via Hamming LSH instead of the dense
                 matmul.
+            score_block_rows: Reference rows per matmul block (``None``
+                or ``0`` = one unblocked gemm; BLAS tiles internally, so
+                blocking here mainly bounds the transient score slab).
+                Never changes results.
 
         Raises:
             ValueError: On unsupported ``mode`` or when no reference
@@ -82,6 +87,7 @@ class BatchedHDOmsSearcher:
         self.mode = mode
         self._noise_rng = np.random.default_rng(noise_seed)
         self.query_ber = query_ber
+        self._score_block_rows = score_block_rows
 
         kept: List[Tuple[Spectrum, Spectrum]] = []
         for reference in references:
@@ -154,6 +160,7 @@ class BatchedHDOmsSearcher:
         noise_seed: int = 1234,
         encoder=None,
         ann: Optional[AnnConfig] = None,
+        score_block_rows: Optional[int] = None,
     ) -> "BatchedHDOmsSearcher":
         """Build the batched searcher from a persisted library index.
 
@@ -173,6 +180,8 @@ class BatchedHDOmsSearcher:
             encoder: Optional shared encoder (validated against the
                 index provenance).
             ann: Optional ANN prefilter config.
+            score_block_rows: Reference rows per matmul block (``None``
+                or ``0`` disables blocking).
 
         Returns:
             A ready-to-search batched searcher.
@@ -195,6 +204,7 @@ class BatchedHDOmsSearcher:
         searcher.mode = mode
         searcher._noise_rng = np.random.default_rng(noise_seed)
         searcher.query_ber = query_ber
+        searcher._score_block_rows = score_block_rows
         searcher.references = index.records()
         hvs = index.hypervectors()
         if reference_ber > 0:
@@ -280,7 +290,7 @@ class BatchedHDOmsSearcher:
                 query_matrix = np.stack(
                     [hv for _, _, hv in items]
                 ).astype(np.float32)
-                scores = query_matrix @ bucket["hvs"].T  # (q, n) dense
+                scores = self._bucket_scores(query_matrix, bucket["hvs"])
             masses = bucket["masses"]
             for row, (order_key, query, _hv) in enumerate(items):
                 low = np.searchsorted(
@@ -323,6 +333,27 @@ class BatchedHDOmsSearcher:
                 else "batched-dense"
             ),
         )
+
+    def _bucket_scores(
+        self, query_matrix: np.ndarray, refs: np.ndarray
+    ) -> np.ndarray:
+        """Dense ``(q, n)`` scores, optionally column-blocked.
+
+        Each output element is one row-column dot product, so blocking
+        the reference axis never changes any accumulation order — the
+        result is bit-identical to the single gemm.
+        """
+        block = self._score_block_rows
+        num_refs = refs.shape[0]
+        if not block or num_refs <= block:
+            return query_matrix @ refs.T  # (q, n) dense
+        scores = np.empty((query_matrix.shape[0], num_refs), dtype=np.float32)
+        for start in range(0, num_refs, block):
+            stop = min(start + block, num_refs)
+            np.matmul(
+                query_matrix, refs[start:stop].T, out=scores[:, start:stop]
+            )
+        return scores
 
     def _search_prefiltered(
         self,

@@ -22,7 +22,8 @@ import numpy as np
 from ..ann import AnnConfig, AnnStats, CandidatePrefilter, HammingLSHIndex
 from ..hdc.encoder import SpectrumEncoder
 from ..hdc.noise import flip_bits
-from ..hdc.packing import pack_bipolar, popcount
+from ..hdc.packing import pack_bipolar
+from ..hdc.similarity import packed_dot_scores
 from ..ms.preprocessing import PreprocessingConfig, preprocess
 from ..ms.spectrum import Spectrum
 from ..obs.trace import get_tracer
@@ -34,6 +35,21 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 #: Queries encoded per fused ``encode_batch`` call inside ``search``.
 ENCODE_BLOCK_SIZE = 256
+
+#: Target working-set bytes of one scoring block (reference rows
+#: gathered / XORed at a time).  Sized to sit inside a typical L2
+#: cache slice so the gather + reduce stays cache-resident; the row
+#: count is derived per backend from its bytes-per-row.
+SCORE_BLOCK_BYTES = 4 << 20
+
+#: Never tile below this many rows — tiny blocks would turn one BLAS
+#: call into a Python-loop of degenerate kernels.
+MIN_SCORE_BLOCK_ROWS = 256
+
+
+def _auto_block_rows(row_bytes: int) -> int:
+    """Rows per scoring block for a given per-row byte cost."""
+    return max(MIN_SCORE_BLOCK_ROWS, SCORE_BLOCK_BYTES // max(1, row_bytes))
 
 
 def encode_queries(encoder, processed: Sequence[Spectrum]) -> np.ndarray:
@@ -72,12 +88,29 @@ class SimilarityBackend(Protocol):
 
 
 class DenseBackend:
-    """Exact similarity via BLAS matmul on the int8 reference matrix."""
+    """Exact similarity via BLAS matmul on the int8 reference matrix.
+
+    ``block_rows`` tiles the gather path: ``None`` (default) derives a
+    block from :data:`SCORE_BLOCK_BYTES` so the gathered row copy stays
+    cache-resident, ``0`` disables tiling, any positive value is used
+    as-is.  Tiling never changes results — float32 accumulation of
+    integer dot products below 2^24 is exact in any order.
+    """
 
     name = "dense"
 
-    def __init__(self) -> None:
+    def __init__(self, block_rows: Optional[int] = None) -> None:
         self._refs: Optional[np.ndarray] = None
+        self._block_rows = block_rows
+
+    def set_block_rows(self, block_rows: Optional[int]) -> None:
+        """Override the scoring block size (``None`` = auto, ``0`` = off)."""
+        self._block_rows = block_rows
+
+    def _resolved_block_rows(self) -> int:
+        if self._block_rows is None:
+            return _auto_block_rows(self._refs.shape[1] * 4)
+        return self._block_rows
 
     def prepare(self, reference_hvs: np.ndarray) -> None:
         """Stage the reference matrix for repeated scoring."""
@@ -95,17 +128,46 @@ class DenseBackend:
             # fancy-index gather copy.  Exact for any positions order —
             # (refs @ q)[positions][i] == refs[positions[i]] @ q.
             return (self._refs @ query).astype(np.int32)[positions]
+        block = self._resolved_block_rows()
+        if block and len(positions) > block:
+            # Tile the gather: each block's (block, dim) float32 copy
+            # fits the cache budget instead of materialising the whole
+            # (window, dim) temporary at once.
+            out = np.empty(len(positions), dtype=np.int32)
+            for start in range(0, len(positions), block):
+                chunk = positions[start : start + block]
+                out[start : start + len(chunk)] = (
+                    self._refs[chunk] @ query
+                ).astype(np.int32)
+            return out
         return (self._refs[positions] @ query).astype(np.int32)
 
 
 class PackedBackend:
-    """Digital-hardware reference path: packed bits, XOR + popcount."""
+    """Digital-hardware reference path: packed bits, XOR + popcount.
+
+    ``block_rows`` follows the :class:`DenseBackend` contract (``None``
+    auto-sizes from :data:`SCORE_BLOCK_BYTES`, ``0`` disables tiling).
+    Full-coverage windows score the prepared matrix as one contiguous
+    slab — no gather copy, and the XOR/popcount ufuncs release the GIL
+    over the slab, which is what thread-pool scoring overlaps on.
+    """
 
     name = "packed"
 
-    def __init__(self) -> None:
+    def __init__(self, block_rows: Optional[int] = None) -> None:
         self._packed: Optional[np.ndarray] = None
         self._dim: int = 0
+        self._block_rows = block_rows
+
+    def set_block_rows(self, block_rows: Optional[int]) -> None:
+        """Override the scoring block size (``None`` = auto, ``0`` = off)."""
+        self._block_rows = block_rows
+
+    def _resolved_block_rows(self) -> int:
+        if self._block_rows is None:
+            return _auto_block_rows(self._packed.shape[1])
+        return self._block_rows
 
     def prepare(self, reference_hvs: np.ndarray) -> None:
         """Stage the float32 copy of the reference matrix."""
@@ -126,10 +188,18 @@ class PackedBackend:
         if self._packed is None:
             raise RuntimeError("backend not prepared")
         packed_query = pack_bipolar(query_hv[np.newaxis, :])[0]
-        distances = popcount(
-            np.bitwise_xor(self._packed[positions], packed_query)
-        ).sum(axis=-1)
-        return (self._dim - 2 * distances).astype(np.int32)
+        block = self._resolved_block_rows()
+        if len(positions) == self._packed.shape[0]:
+            # Full-coverage fast path, mirroring DenseBackend: score the
+            # contiguous prepared matrix and reorder the (n,) result —
+            # exact for any positions order, and the XOR runs on one
+            # contiguous slab instead of a gathered copy.
+            return packed_dot_scores(
+                self._packed, packed_query, self._dim, block
+            )[positions]
+        return packed_dot_scores(
+            self._packed[positions], packed_query, self._dim, block
+        )
 
 
 @dataclass(frozen=True)

@@ -117,6 +117,8 @@ class ServiceConfig:
     standard_tolerance_da: float = DEFAULT_STANDARD_WINDOW_DA
     charge_aware: bool = True
     ann: Optional[AnnConfig] = None
+    executor: str = "process"  # sharded engine: "process" | "thread"
+    score_block_rows: Optional[int] = None
 
     def __post_init__(self) -> None:
         """Fail fast on any inconsistent knob combination."""
@@ -147,6 +149,16 @@ class ServiceConfig:
         if self.num_workers is not None and self.num_workers < 0:
             raise ValueError(
                 f"num_workers must be >= 0 or None, got {self.num_workers}"
+            )
+        if self.executor not in ("process", "thread"):
+            raise ValueError(
+                f"unknown executor {self.executor!r}; "
+                "expected 'process' or 'thread'"
+            )
+        if self.score_block_rows is not None and self.score_block_rows < 0:
+            raise ValueError(
+                f"score_block_rows must be >= 0 or None, "
+                f"got {self.score_block_rows}"
             )
 
     def windows(self) -> WindowConfig:
@@ -281,7 +293,11 @@ class SearchService:
         search_config = config.search_config()
         if self._engine_kind(config) == "batched":
             engine = BatchedHDOmsSearcher.from_index(
-                index, windows=windows, mode=config.mode, ann=config.ann
+                index,
+                windows=windows,
+                mode=config.mode,
+                ann=config.ann,
+                score_block_rows=config.score_block_rows,
             )
             label = (
                 "batched-dense+ann" if config.ann is not None else "batched-dense"
@@ -294,6 +310,8 @@ class SearchService:
                 config=search_config,
                 backend=config.backend,
                 num_workers=config.num_workers,
+                executor=config.executor,
+                score_block_rows=config.score_block_rows,
             )
             label = engine.backend_name
         fingerprint = config_fingerprint(
@@ -720,6 +738,8 @@ class SearchService:
                 "num_references": self.index.num_references,
                 "max_batch": self.config.max_batch,
                 "max_wait_ms": self.config.max_wait_ms,
+                "executor": getattr(self._engine, "executor_kind", "inline"),
+                "arena_bytes": int(getattr(self._engine, "arena_nbytes", 0)),
                 "ann": self._ann_section(),
             },
             "uptime_seconds": round(time.time() - self._started, 3),

@@ -24,6 +24,7 @@ REQUIRED_PAGES = (
     "architecture.md",
     "ann-tuning.md",
     "config-reference.md",
+    "performance.md",
 )
 
 

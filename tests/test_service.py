@@ -836,7 +836,8 @@ class TestGracefulShardedClose:
         result = searcher.search(workload.queries)
         assert {psm.query_id: psm for psm in result.psms} == baseline
         searcher.close()
-        assert searcher._pool is None
+        assert searcher._executor is None
+        assert searcher._arena is None
         searcher.close()  # idempotent
 
     def test_searcher_usable_after_close_reopens_pool(
