@@ -20,6 +20,13 @@ Subpackages
 ``repro.index``
     Persistent encoded-library index (build once, ``.npz`` on disk,
     memory-mapped load) and the sharded multiprocessing searcher.
+``repro.store``
+    Out-of-core segmented library store: streaming ingest bounded by
+    ``segment_rows``, append/merge compaction, manifest provenance,
+    and the lazily-opening ``SegmentedSearcher``.
+``repro.engine``
+    ``EngineConfig`` — the single engine-construction config accepted
+    by every searcher, the service layer, and the CLI flag group.
 ``repro.service``
     Long-lived online search service: dynamic micro-batching, LRU
     result caching, stdlib HTTP JSON API (``repro serve``), client.

@@ -7,8 +7,13 @@ Seven subcommands cover the library's user-facing workflows:
 * ``hdoms search`` — run the full OMS pipeline on an MSP library and
   MGF queries, writing accepted PSMs as TSV;
 * ``hdoms index build`` / ``hdoms index search`` — encode a library
-  once into a persistent ``.npz`` index, then serve any number of query
-  batches from it (optionally sharded across worker processes);
+  once into a persistent ``.npz`` index (or, with ``--segment-rows``, a
+  segmented store directory that never holds the whole library in RAM),
+  then serve any number of query batches from it (optionally sharded
+  across worker processes);
+* ``hdoms index append`` / ``hdoms index merge`` — stream new spectra
+  into an existing segmented store, and compact its segments, without a
+  full rebuild (see ``docs/index-format.md``);
 * ``hdoms serve`` — run the long-lived online search service (micro-
   batching + result cache + HTTP JSON API) over a persisted index;
 * ``hdoms profile`` — search queries against an index with span tracing
@@ -135,6 +140,96 @@ def _ann_config_from_args(args):
     return AnnConfig(**{key: value for key, (_, value) in given.items()})
 
 
+def add_engine_args(
+    parser,
+    *,
+    workers_default: Optional[int] = None,
+    include_engine: bool = False,
+) -> None:
+    """The shared engine flag group (index search/append/merge, serve, profile).
+
+    One definition feeds every entry point so the flags cannot drift
+    between subcommands; :func:`engine_config_from_args` turns the
+    parsed namespace into one :class:`~repro.engine.EngineConfig`.
+
+    Args:
+        parser: The subcommand parser to extend.
+        workers_default: Default ``--workers`` (``0`` = in-process,
+            ``None`` = auto-size to the shard/segment count).
+        include_engine: Also expose ``--engine`` (the service is the
+            only consumer that lets users pin the engine family).
+    """
+    group = parser.add_argument_group(
+        "engine", "execution knobs shared by every search entry point"
+    )
+    if include_engine:
+        group.add_argument(
+            "--engine",
+            choices=("auto", "batched", "sharded", "segmented"),
+            default="auto",
+            help=(
+                "engine family (auto = batched dense when possible, "
+                "segmented for store directories)"
+            ),
+        )
+    group.add_argument(
+        "--shards", type=int, default=1, help="library partitions to score"
+    )
+    group.add_argument(
+        "--workers",
+        type=int,
+        default=workers_default,
+        help=(
+            "worker-pool size (0 = score in-process"
+            + (", default" if workers_default == 0 else "")
+            + "; omitted = one per shard up to the CPU count)"
+        ),
+    )
+    group.add_argument(
+        "--executor",
+        choices=("process", "thread"),
+        default="process",
+        help=(
+            "parallel scoring mode: process = worker pool over a shared-"
+            "memory arena, thread = in-process threads over the same "
+            "arena (zero IPC; segmented stores always score in-process)"
+        ),
+    )
+    group.add_argument(
+        "--score-block-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "rows per scoring block (cache tiling; default auto, "
+            "0 = untiled; never changes results)"
+        ),
+    )
+    group.add_argument(
+        "--backend", choices=("dense", "packed"), default="dense"
+    )
+
+
+def engine_config_from_args(args, ann=None):
+    """One :class:`~repro.engine.EngineConfig` from the shared flag group.
+
+    ``ann`` threads an :class:`~repro.ann.AnnConfig` (usually from
+    :func:`_ann_config_from_args`) into the engine config so a single
+    object carries every execution knob.
+    """
+    from .engine import EngineConfig
+
+    return EngineConfig(
+        kind=getattr(args, "engine", "auto"),
+        backend=args.backend,
+        num_shards=args.shards,
+        num_workers=args.workers,
+        executor=args.executor,
+        score_block_rows=args.score_block_rows,
+        ann=ann,
+    )
+
+
 def _add_workload_parser(subparsers) -> None:
     parser = subparsers.add_parser(
         "workload", help="generate a synthetic OMS benchmark to disk"
@@ -211,6 +306,17 @@ def _add_index_parser(subparsers) -> None:
         action="store_true",
         help="library already contains decoys (Comment: Decoy=true)",
     )
+    build.add_argument(
+        "--segment-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "write a segmented store *directory* at --output instead of "
+            "one .npz, streaming the library in segments of N rows so "
+            "peak memory stays bounded (see docs/index-format.md)"
+        ),
+    )
     _add_ann_arguments(build)
     _add_logging_arguments(build)
 
@@ -218,7 +324,11 @@ def _add_index_parser(subparsers) -> None:
         "search", help="search MGF queries against a persisted index"
     )
     search.add_argument(
-        "--index", type=Path, required=True, dest="index_path", help=".npz index"
+        "--index",
+        type=Path,
+        required=True,
+        dest="index_path",
+        help=".npz index or segmented store directory",
     )
     search.add_argument("--queries", type=Path, required=True, help="MGF file")
     search.add_argument(
@@ -227,35 +337,6 @@ def _add_index_parser(subparsers) -> None:
         help=(
             "output file: accepted-PSM TSV, or the JSONL stream with "
             "--output-format jsonl (stdout when omitted)"
-        ),
-    )
-    search.add_argument(
-        "--shards", type=int, default=1, help="library partitions to score"
-    )
-    search.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="process-pool size (0 = no multiprocessing)",
-    )
-    search.add_argument(
-        "--executor",
-        choices=("process", "thread"),
-        default="process",
-        help=(
-            "parallel scoring mode: process = worker pool over a shared-"
-            "memory arena, thread = in-process threads over the same "
-            "arena (zero IPC)"
-        ),
-    )
-    search.add_argument(
-        "--score-block-rows",
-        type=int,
-        default=None,
-        metavar="N",
-        help=(
-            "rows per scoring block (cache tiling; default auto, "
-            "0 = untiled; never changes results)"
         ),
     )
     search.add_argument(
@@ -268,9 +349,6 @@ def _add_index_parser(subparsers) -> None:
         help="FDR threshold for tsv output (default 0.01; ignored by jsonl)",
     )
     search.add_argument("--open-window", type=float, default=500.0)
-    search.add_argument(
-        "--backend", choices=("dense", "packed"), default="dense"
-    )
     search.add_argument(
         "--output-format",
         choices=("tsv", "jsonl"),
@@ -288,8 +366,84 @@ def _add_index_parser(subparsers) -> None:
         default=512,
         help="queries searched per batch in jsonl streaming mode",
     )
+    add_engine_args(search)
     _add_ann_arguments(search)
     _add_logging_arguments(search)
+
+    append = index_sub.add_parser(
+        "append",
+        help="stream new spectra into an existing segmented store",
+    )
+    append.add_argument(
+        "--store",
+        type=Path,
+        required=True,
+        help="segmented store directory (must already have a manifest)",
+    )
+    append.add_argument(
+        "--library",
+        type=Path,
+        required=True,
+        help="MSP/MGF file of new reference spectra",
+    )
+    append.add_argument(
+        "--segment-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="rows per new segment (default 8192)",
+    )
+    append.add_argument(
+        "--chunk-size",
+        type=int,
+        default=512,
+        help="spectra encoded per batch (bounds peak memory)",
+    )
+    append.add_argument(
+        "--no-decoys",
+        action="store_true",
+        help="library already contains decoys (Comment: Decoy=true)",
+    )
+    append.add_argument("--seed", type=int, default=0)
+    append.add_argument(
+        "--verify-queries",
+        type=Path,
+        default=None,
+        metavar="MGF",
+        help="after appending, search these queries to sanity-check the store",
+    )
+    add_engine_args(append)
+    _add_logging_arguments(append)
+
+    merge = index_sub.add_parser(
+        "merge",
+        help="compact a segmented store's segments without a rebuild",
+    )
+    merge.add_argument(
+        "--store",
+        type=Path,
+        required=True,
+        help="segmented store directory",
+    )
+    merge.add_argument(
+        "--target-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "merge adjacent segments up to N rows each "
+            "(default: compact everything into one segment)"
+        ),
+    )
+    merge.add_argument(
+        "--verify-queries",
+        type=Path,
+        default=None,
+        metavar="MGF",
+        help="after merging, search these queries to sanity-check the store",
+    )
+    add_engine_args(merge)
+    _add_logging_arguments(merge)
 
 
 def _add_serve_parser(subparsers) -> None:
@@ -304,9 +458,9 @@ def _add_serve_parser(subparsers) -> None:
         dest="indexes",
         metavar="[NAME=]PATH",
         help=(
-            ".npz index to serve; repeat to front several libraries "
-            "as NAME=PATH routes (a single bare PATH is served as the "
-            "'default' route)"
+            ".npz index or segmented store directory to serve; repeat "
+            "to front several libraries as NAME=PATH routes (a single "
+            "bare PATH is served as the 'default' route)"
         ),
     )
     parser.add_argument(
@@ -334,43 +488,7 @@ def _add_serve_parser(subparsers) -> None:
         default=1024,
         help="LRU result-cache capacity (0 disables caching)",
     )
-    parser.add_argument(
-        "--engine",
-        choices=("auto", "batched", "sharded"),
-        default="auto",
-        help="batch engine (auto = batched dense when possible)",
-    )
-    parser.add_argument(
-        "--shards", type=int, default=1, help="library partitions to score"
-    )
-    parser.add_argument(
-        "--workers",
-        type=int,
-        default=0,
-        help="process-pool size for the sharded engine (0 = in-process)",
-    )
-    parser.add_argument(
-        "--executor",
-        choices=("process", "thread"),
-        default="process",
-        help=(
-            "sharded-engine scoring mode: process = worker pool over a "
-            "shared-memory arena, thread = in-process threads (zero IPC)"
-        ),
-    )
-    parser.add_argument(
-        "--score-block-rows",
-        type=int,
-        default=None,
-        metavar="N",
-        help=(
-            "rows per scoring block (cache tiling; default auto, "
-            "0 = untiled; never changes results)"
-        ),
-    )
-    parser.add_argument(
-        "--backend", choices=("dense", "packed"), default="dense"
-    )
+    add_engine_args(parser, workers_default=0, include_engine=True)
     parser.add_argument(
         "--mode", choices=("open", "standard", "cascade"), default="open"
     )
@@ -417,7 +535,11 @@ def _add_profile_parser(subparsers) -> None:
         ),
     )
     parser.add_argument(
-        "--index", type=Path, required=True, dest="index_path", help=".npz index"
+        "--index",
+        type=Path,
+        required=True,
+        dest="index_path",
+        help=".npz index or segmented store directory",
     )
     parser.add_argument("--queries", type=Path, required=True, help="MGF file")
     parser.add_argument(
@@ -440,18 +562,7 @@ def _add_profile_parser(subparsers) -> None:
         "--mode", choices=("open", "standard", "cascade"), default="open"
     )
     parser.add_argument("--open-window", type=float, default=500.0)
-    parser.add_argument(
-        "--shards", type=int, default=1, help="library partitions to score"
-    )
-    parser.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="process-pool size (0 = no multiprocessing)",
-    )
-    parser.add_argument(
-        "--backend", choices=("dense", "packed"), default="dense"
-    )
+    add_engine_args(parser)
     parser.add_argument(
         "--trace-capacity",
         type=int,
@@ -511,15 +622,10 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_library(path: Path, no_decoys: bool, seed: int):
-    """Read an MSP library, appending simulator decoys unless told not to."""
-    from .ms.decoy import append_decoys
-    from .ms.msp import read_msp
+def _decoy_factory(seed: int):
+    """The simulator-backed decoy spectrum factory shared by all ingests."""
     from .ms.synthetic import REFERENCE_NOISE, SpectrumSimulator
 
-    references = list(read_msp(path))
-    if no_decoys:
-        return references
     simulator = SpectrumSimulator(seed=seed)
 
     def factory(peptide, charge, identifier):
@@ -528,7 +634,46 @@ def _load_library(path: Path, no_decoys: bool, seed: int):
             peptide, charge, identifier, noise=REFERENCE_NOISE
         )
 
-    return append_decoys(references, factory, seed=seed)
+    return factory
+
+
+def _load_library(path: Path, no_decoys: bool, seed: int):
+    """Read a spectral library, appending simulator decoys unless told not to."""
+    from .ms import iter_spectra
+    from .ms.decoy import append_decoys
+
+    references = list(iter_spectra(path))
+    if no_decoys:
+        return references
+    return append_decoys(references, _decoy_factory(seed), seed=seed)
+
+
+def _iter_library(path: Path, no_decoys: bool, seed: int):
+    """Stream a spectral library: targets first, then generated decoys.
+
+    The streaming twin of :func:`_load_library` for segmented-store
+    ingest: the file is read twice (targets, then a decoy per target)
+    so at no point is the library resident, and one sequential RNG
+    seeded like :func:`~repro.ms.decoy.append_decoys` keeps the decoy
+    sequences — and therefore the stored rows — bit-identical to the
+    buffered path.
+    """
+    import random
+
+    from .ms import iter_spectra
+    from .ms.decoy import make_decoy_spectrum
+
+    yield from iter_spectra(path)
+    if no_decoys:
+        return
+    factory = _decoy_factory(seed)
+    rng = random.Random(seed)
+    for reference in iter_spectra(path):
+        if reference.is_decoy:
+            continue
+        decoy = make_decoy_spectrum(reference, factory, rng)
+        if decoy is not None:
+            yield decoy
 
 
 def _write_psm_tsv(path: Path, accepted) -> None:
@@ -671,6 +816,10 @@ def cmd_index(args) -> int:
         return _cmd_index_build(args)
     if args.index_command == "search":
         return _cmd_index_search(args)
+    if args.index_command == "append":
+        return _cmd_index_append(args)
+    if args.index_command == "merge":
+        return _cmd_index_merge(args)
     raise AssertionError(f"unhandled index command {args.index_command!r}")
 
 
@@ -687,19 +836,43 @@ def _cmd_index_build(args) -> int:
     except ValueError as error:
         print(f"index build: {error}", file=sys.stderr)
         return 2
+    binning = BinningConfig()
+    space_config = HDSpaceConfig(
+        dim=args.dim,
+        num_bins=binning.num_bins,
+        num_levels=args.levels,
+        id_precision_bits=args.id_bits,
+        seed=args.seed,
+    )
+    if args.segment_rows is not None:
+        from .store import build_store
+
+        start = time.perf_counter()
+        store = build_store(
+            _iter_library(args.library, args.no_decoys, args.seed),
+            args.output,
+            space_config=space_config,
+            binning=binning,
+            ann=ann,
+            segment_rows=args.segment_rows,
+            chunk_size=args.chunk_size,
+            source=str(args.library),
+        )
+        build_seconds = time.perf_counter() - start
+        print(store.summary())
+        print(
+            f"streamed {store.num_references} references into "
+            f"{store.num_segments} segment(s) in {build_seconds:.2f}s "
+            f"-> {args.output}"
+        )
+        store.close()
+        return 0
     references = _load_library(args.library, args.no_decoys, args.seed)
     print(f"library (incl. decoys): {len(references)}")
-    binning = BinningConfig()
     start = time.perf_counter()
     index = LibraryIndex.build(
         references,
-        space_config=HDSpaceConfig(
-            dim=args.dim,
-            num_bins=binning.num_bins,
-            num_levels=args.levels,
-            id_precision_bits=args.id_bits,
-            seed=args.seed,
-        ),
+        space_config=space_config,
         binning=binning,
         chunk_size=args.chunk_size,
         source=str(args.library),
@@ -787,11 +960,38 @@ def _print_ann_summary(searcher, stream) -> None:
     )
 
 
+def _open_searcher(index_path: Path, *, windows, config, engine):
+    """Open the right searcher for a path: segmented store vs ``.npz``.
+
+    A directory (or an explicit ``manifest.json``) opens lazily as a
+    :class:`~repro.store.SegmentedSearcher`; anything else loads as a
+    monolithic index behind a
+    :class:`~repro.index.sharded.ShardedSearcher`.  Both support the
+    context-manager protocol and release their arenas on ``close``.
+    """
+    from .index import LibraryIndex, ShardedSearcher
+    from .store import MANIFEST_NAME, SegmentedSearcher
+
+    path = Path(index_path)
+    if path.is_dir() or path.name == MANIFEST_NAME:
+        return SegmentedSearcher(
+            path,
+            windows=windows,
+            config=config,
+            engine=engine.replace(kind="segmented"),
+        )
+    return ShardedSearcher(
+        LibraryIndex.load(path),
+        windows=windows,
+        config=config,
+        engine=engine.replace(kind="sharded"),
+    )
+
+
 def _cmd_index_search(args) -> int:
     import time
 
     from .constants import DEFAULT_FDR_THRESHOLD, DEFAULT_STANDARD_WINDOW_DA
-    from .index import LibraryIndex, ShardedSearcher
     from .ms.mgf import read_mgf
     from .oms.candidates import WindowConfig
     from .oms.fdr import grouped_fdr
@@ -802,6 +1002,7 @@ def _cmd_index_search(args) -> int:
         return 2
     try:
         ann = _ann_config_from_args(args)
+        engine = engine_config_from_args(args)
         _setup_logging_from_args(args)
     except ValueError as error:
         print(f"index search: {error}", file=sys.stderr)
@@ -818,29 +1019,26 @@ def _cmd_index_search(args) -> int:
         )
     fdr = args.fdr if args.fdr is not None else DEFAULT_FDR_THRESHOLD
 
-    start = time.perf_counter()
-    index = LibraryIndex.load(args.index_path)
-    load_seconds = time.perf_counter() - start
-    print(index.summary(), file=info)
-    print(
-        f"loaded index in {load_seconds * 1000:.1f} ms (encoding skipped)",
-        file=info,
-    )
-
     windows = WindowConfig(
         standard_tolerance_da=DEFAULT_STANDARD_WINDOW_DA,
         open_window_da=args.open_window,
     )
-    with ShardedSearcher(
-        index,
-        num_shards=args.shards,
+    start = time.perf_counter()
+    searcher_cm = _open_searcher(
+        args.index_path,
         windows=windows,
         config=HDSearchConfig(mode=args.mode, ann=ann),
-        backend=args.backend,
-        num_workers=args.workers,
-        executor=args.executor,
-        score_block_rows=args.score_block_rows,
-    ) as searcher:
+        engine=engine,
+    )
+    load_seconds = time.perf_counter() - start
+    source = getattr(searcher_cm, "store", None) or searcher_cm.index
+    print(source.summary(), file=info)
+    print(
+        f"opened {args.index_path} in {load_seconds * 1000:.1f} ms "
+        "(encoding skipped)",
+        file=info,
+    )
+    with searcher_cm as searcher:
         if streaming:
             code = _stream_jsonl_search(
                 args, searcher, read_mgf(args.queries), info
@@ -861,6 +1059,104 @@ def _cmd_index_search(args) -> int:
         _write_psm_tsv(args.output, accepted)
         print(f"wrote PSMs -> {args.output}")
     return 0
+
+
+def _verify_store(args, store) -> int:
+    """Optional post-append/merge sanity search (``--verify-queries``).
+
+    Reuses the shared engine flag group: the verification search runs
+    through the same :class:`~repro.store.SegmentedSearcher` a real
+    ``index search`` against the store would use.
+    """
+    if args.verify_queries is None:
+        return 0
+    from .ms.mgf import read_mgf
+    from .oms.search import HDSearchConfig
+    from .store import SegmentedSearcher
+
+    engine = engine_config_from_args(args)
+    with SegmentedSearcher(
+        store,
+        config=HDSearchConfig(),
+        engine=engine.replace(kind="segmented"),
+    ) as searcher:
+        result = searcher.search(list(read_mgf(args.verify_queries)))
+    print(
+        f"verify: {len(result.psms)} PSMs for {result.num_queries} queries "
+        f"on backend {result.backend_name!r}"
+    )
+    return 0
+
+
+def _cmd_index_append(args) -> int:
+    import time
+
+    from .store import StoreCompatibilityError, append_store
+
+    try:
+        engine_config_from_args(args)  # fail fast on bad engine flags
+        _setup_logging_from_args(args)
+    except ValueError as error:
+        print(f"index append: {error}", file=sys.stderr)
+        return 2
+    extra = {}
+    if args.segment_rows is not None:
+        extra["segment_rows"] = args.segment_rows
+    start = time.perf_counter()
+    try:
+        store = append_store(
+            args.store,
+            _iter_library(args.library, args.no_decoys, args.seed),
+            chunk_size=args.chunk_size,
+            source=str(args.library),
+            **extra,
+        )
+    except (StoreCompatibilityError, ValueError) as error:
+        print(f"index append: {error}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - start
+    print(store.summary())
+    print(
+        f"appended {args.library} in {elapsed:.2f}s -> "
+        f"{store.num_references} references in "
+        f"{store.num_segments} segment(s)"
+    )
+    code = _verify_store(args, store)
+    store.close()
+    return code
+
+
+def _cmd_index_merge(args) -> int:
+    import time
+
+    from .store import StoreCompatibilityError, merge_store
+
+    try:
+        engine_config_from_args(args)  # fail fast on bad engine flags
+        _setup_logging_from_args(args)
+    except ValueError as error:
+        print(f"index merge: {error}", file=sys.stderr)
+        return 2
+    if args.target_rows is not None and args.target_rows < 1:
+        print(
+            f"--target-rows must be >= 1, got {args.target_rows}",
+            file=sys.stderr,
+        )
+        return 2
+    start = time.perf_counter()
+    try:
+        store = merge_store(args.store, target_rows=args.target_rows)
+    except StoreCompatibilityError as error:
+        print(f"index merge: {error}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - start
+    print(store.summary())
+    print(
+        f"compacted to {store.num_segments} segment(s) in {elapsed:.2f}s"
+    )
+    code = _verify_store(args, store)
+    store.close()
+    return code
 
 
 def _split_index_entry(entry: str):
@@ -927,16 +1223,12 @@ def cmd_serve(args) -> int:
             max_batch=args.max_batch,
             max_wait_ms=args.max_wait_ms,
             cache_capacity=args.cache_size,
-            engine=args.engine,
-            num_shards=args.shards,
-            num_workers=args.workers,
-            backend=args.backend,
             mode=args.mode,
             open_window_da=args.open_window,
             standard_tolerance_da=DEFAULT_STANDARD_WINDOW_DA,
-            ann=_ann_config_from_args(args),
-            executor=args.executor,
-            score_block_rows=args.score_block_rows,
+            engine_config=engine_config_from_args(
+                args, ann=_ann_config_from_args(args)
+            ),
         )
     except ValueError as error:
         print(f"serve: {error}", file=sys.stderr)
@@ -968,7 +1260,6 @@ def cmd_profile(args) -> int:
     import time
 
     from .constants import DEFAULT_STANDARD_WINDOW_DA
-    from .index import LibraryIndex, ShardedSearcher
     from .ms.mgf import read_mgf
     from .obs.export import chrome_trace
     from .obs.profile import render_stage_table, summarize_spans
@@ -978,6 +1269,7 @@ def cmd_profile(args) -> int:
 
     try:
         ann = _ann_config_from_args(args)
+        engine = engine_config_from_args(args)
         _setup_logging_from_args(args)
     except ValueError as error:
         print(f"profile: {error}", file=sys.stderr)
@@ -986,7 +1278,6 @@ def cmd_profile(args) -> int:
         print(f"--limit must be >= 1, got {args.limit}", file=sys.stderr)
         return 2
 
-    index = LibraryIndex.load(args.index_path)
     queries = list(read_mgf(args.queries))
     if args.limit is not None:
         queries = queries[: args.limit]
@@ -1009,13 +1300,11 @@ def cmd_profile(args) -> int:
     )
     try:
         start = time.perf_counter()
-        with ShardedSearcher(
-            index,
-            num_shards=args.shards,
+        with _open_searcher(
+            args.index_path,
             windows=windows,
             config=HDSearchConfig(mode=args.mode, ann=ann),
-            backend=args.backend,
-            num_workers=args.workers,
+            engine=engine,
         ) as searcher:
             with tracer.span(
                 "profile.run", request_id=request_id, queries=len(queries)

@@ -23,59 +23,131 @@ overlap stages — batch ``k+1`` encodes while batch ``k`` scores — via
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import time
+import warnings
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..ann import AnnStats, HammingLSHIndex
+# EXECUTOR_KINDS moved to repro.engine; re-exported for compatibility.
+from ..engine import EXECUTOR_KINDS as EXECUTOR_KINDS
+from ..engine import EngineConfig
 from ..exec.arena import SharedShardArena
-from ..exec.pipeline import pipeline_map
 from ..exec.pool import ProcessShardExecutor, ThreadShardExecutor
 from ..exec.scorer import ShardScorer, resolve_backend, shard_payload
 from ..hdc.noise import flip_bits
 from ..hdc.packing import pack_bipolar
-from ..ms.preprocessing import PreprocessingConfig, preprocess
+from ..ms.preprocessing import PreprocessingConfig
 from ..ms.spectrum import Spectrum
 from ..obs.trace import get_tracer
 from ..oms.candidates import WindowConfig
-from ..oms.psm import PSM, SearchResult
-from ..oms.search import ENCODE_BLOCK_SIZE, HDSearchConfig, encode_queries
+from ..oms.loop import MicroBatchSearchMixin
+from ..oms.psm import PSM
+from ..oms.search import ENCODE_BLOCK_SIZE, HDSearchConfig
 from .library import LibraryIndex
 
-#: The supported parallel execution modes.
-EXECUTOR_KINDS = ("process", "thread")
+#: Sentinel distinguishing "kwarg not passed" from an explicit value,
+#: so only *explicit* legacy engine kwargs trigger the deprecation shim.
+_UNSET = object()
 
 
-class ShardedSearcher:
+def _resolve_engine(
+    engine: Optional[EngineConfig],
+    legacy: Dict[str, object],
+    config: Optional[HDSearchConfig],
+    owner: str,
+    kinds: Tuple[str, ...],
+    legacy_defaults: Dict[str, object],
+) -> EngineConfig:
+    """Shared legacy-kwargs → :class:`EngineConfig` shim.
+
+    Explicitly passed legacy kwargs emit a :class:`DeprecationWarning`
+    (and conflict with ``engine=``); a bare call silently keeps the
+    owner's historical defaults.
+    """
+    if engine is not None and legacy:
+        raise ValueError(
+            f"{owner}: pass engine knobs via engine=EngineConfig(...) or "
+            f"the legacy kwargs, not both: {sorted(legacy)}"
+        )
+    if legacy:
+        warnings.warn(
+            f"{owner} engine kwargs ({', '.join(sorted(legacy_defaults))}) "
+            "are deprecated; pass engine=repro.engine.EngineConfig(...) "
+            "instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    if engine is None:
+        resolved = dict(legacy_defaults)
+        resolved.update(legacy)
+        engine = EngineConfig(
+            kind=kinds[-1],
+            ann=config.ann if config is not None else None,
+            **resolved,
+        )
+    elif engine.kind not in ("auto",) + kinds:
+        raise ValueError(
+            f"{owner} cannot host engine kind {engine.kind!r}"
+        )
+    return engine
+
+
+def _fold_engine_ann(
+    engine: EngineConfig, config: Optional[HDSearchConfig]
+) -> HDSearchConfig:
+    """Merge ``engine.ann`` into the search config (conflicts rejected)."""
+    config = config or HDSearchConfig()
+    if engine.ann is None or engine.ann == config.ann:
+        return config
+    if config.ann is not None:
+        raise ValueError(
+            "conflicting ANN configs: engine.ann disagrees with config.ann"
+        )
+    return dataclasses.replace(config, ann=engine.ann)
+
+
+class ShardedSearcher(MicroBatchSearchMixin):
     """Fan open-modification search across index shards and workers.
 
     Parameters
     ----------
     index:
         A built or loaded :class:`LibraryIndex`.
+    engine:
+        An :class:`~repro.engine.EngineConfig` naming the execution
+        knobs (shards, workers, executor, backend, tiling, pipeline
+        batch, ANN).  This is the preferred construction surface; the
+        individual keyword arguments below remain as deprecated shims.
     num_shards:
-        Number of contiguous row partitions (each becomes one scoring
-        task per query batch).
+        *Deprecated — use* ``engine``.  Number of contiguous row
+        partitions (each becomes one scoring task per query batch);
+        historically defaulted to 2.
     num_workers:
-        Worker count; ``None`` picks ``min(num_shards, cpu_count)`` and
-        ``0`` disables parallelism entirely (shards are scored serially
-        in-process — handy for tests and tiny workloads).
+        *Deprecated — use* ``engine``.  Worker count; ``None`` picks
+        ``min(num_shards, cpu_count)`` and ``0`` disables parallelism
+        entirely (shards are scored serially in-process — handy for
+        tests and tiny workloads).
     backend:
-        ``"dense"``, ``"packed"``, or a picklable zero-argument factory
-        returning a :class:`~repro.oms.search.SimilarityBackend`.
+        *Deprecated — use* ``engine``.  ``"dense"``, ``"packed"``, or a
+        picklable zero-argument factory returning a
+        :class:`~repro.oms.search.SimilarityBackend`.
     executor:
-        ``"process"`` (default; a multiprocessing pool reattaching the
-        shared arena by name) or ``"thread"`` (an in-process thread
-        pool over the same arena — zero IPC, concurrency from
-        GIL-releasing kernels).  Ignored when ``num_workers == 0``.
+        *Deprecated — use* ``engine``.  ``"process"`` (default; a
+        multiprocessing pool reattaching the shared arena by name) or
+        ``"thread"`` (an in-process thread pool over the same arena —
+        zero IPC, concurrency from GIL-releasing kernels).  Ignored
+        when ``num_workers == 0``.
     score_block_rows:
-        Rows per scoring block handed to backends that support tiling
-        (``None`` = backend auto-sizes to its cache budget, ``0`` =
-        untiled).  Never changes results.
+        *Deprecated — use* ``engine``.  Rows per scoring block handed
+        to backends that support tiling (``None`` = backend auto-sizes
+        to its cache budget, ``0`` = untiled).  Never changes results.
     pipeline_batch:
-        Queries per encode micro-batch in :meth:`search`; defaults to
+        *Deprecated — use* ``engine``.  Queries per encode micro-batch
+        in :meth:`search`; defaults to
         :data:`~repro.oms.search.ENCODE_BLOCK_SIZE`.  Batches beyond the
         first are encoded one stage ahead of scoring.
     encoder:
@@ -84,65 +156,78 @@ class ShardedSearcher:
         index so a loaded file is fully self-contained.
     """
 
+    #: Historical constructor defaults the legacy-kwarg shim preserves.
+    _LEGACY_DEFAULTS = {
+        "num_shards": 2,
+        "backend": "dense",
+        "num_workers": None,
+        "executor": "process",
+        "score_block_rows": None,
+        "pipeline_batch": None,
+    }
+
     def __init__(
         self,
         index: LibraryIndex,
-        num_shards: int = 2,
+        num_shards: int = _UNSET,
         preprocessing: Optional[PreprocessingConfig] = None,
         windows: Optional[WindowConfig] = None,
         config: Optional[HDSearchConfig] = None,
-        backend: Union[str, Callable] = "dense",
-        num_workers: Optional[int] = None,
+        backend: Union[str, Callable] = _UNSET,
+        num_workers: Optional[int] = _UNSET,
         encoder=None,
-        executor: str = "process",
-        score_block_rows: Optional[int] = None,
-        pipeline_batch: Optional[int] = None,
+        executor: str = _UNSET,
+        score_block_rows: Optional[int] = _UNSET,
+        pipeline_batch: Optional[int] = _UNSET,
+        engine: Optional[EngineConfig] = None,
     ) -> None:
-        if num_shards < 1:
-            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
-        if num_shards > index.num_references:
+        legacy = {
+            name: value
+            for name, value in (
+                ("num_shards", num_shards),
+                ("backend", backend),
+                ("num_workers", num_workers),
+                ("executor", executor),
+                ("score_block_rows", score_block_rows),
+                ("pipeline_batch", pipeline_batch),
+            )
+            if value is not _UNSET
+        }
+        engine = _resolve_engine(
+            engine, legacy, config, "ShardedSearcher", ("sharded",),
+            self._LEGACY_DEFAULTS,
+        )
+        config = _fold_engine_ann(engine, config)
+        if engine.num_shards > index.num_references:
             raise ValueError(
                 f"cannot split {index.num_references} references into "
-                f"{num_shards} shards"
-            )
-        if executor not in EXECUTOR_KINDS:
-            raise ValueError(
-                f"unknown executor {executor!r}; expected one of "
-                f"{EXECUTOR_KINDS}"
-            )
-        if score_block_rows is not None and score_block_rows < 0:
-            raise ValueError(
-                f"score_block_rows must be >= 0 or None, got {score_block_rows}"
-            )
-        if pipeline_batch is not None and pipeline_batch < 1:
-            raise ValueError(
-                f"pipeline_batch must be >= 1, got {pipeline_batch}"
+                f"{engine.num_shards} shards"
             )
         if encoder is not None:
             index.validate(encoder.space.config, encoder.binning)
-        resolve_backend(backend)  # fail fast on bad names
+        resolve_backend(engine.backend)  # fail fast on bad factories
         self.index = index
-        self.num_shards = num_shards
+        self.engine = engine
+        self.num_shards = engine.num_shards
         self.encoder = encoder if encoder is not None else index.make_encoder()
         self.preprocessing = preprocessing or index.preprocessing
         self.windows = windows or WindowConfig()
-        self.config = config or HDSearchConfig()
-        self._backend = backend
-        self._backend_label = backend if isinstance(backend, str) else getattr(
-            backend, "__name__", "custom"
-        )
+        self.config = config
+        self._backend = engine.backend
+        self._backend_label = engine.backend_label
         self._noise_rng = np.random.default_rng(self.config.noise_seed)
+        num_workers = engine.num_workers
         if num_workers is None:
-            num_workers = min(num_shards, os.cpu_count() or 1)
+            num_workers = min(engine.num_shards, os.cpu_count() or 1)
         self._num_workers = num_workers
-        self._executor_name = executor
-        self._score_block_rows = score_block_rows
-        self._pipeline_batch = pipeline_batch or ENCODE_BLOCK_SIZE
+        self._executor_name = engine.executor
+        self._score_block_rows = engine.score_block_rows
+        self._pipeline_batch = engine.pipeline_batch or ENCODE_BLOCK_SIZE
         self._serial_scorers: Dict[int, ShardScorer] = {}
         self.ann_stats = AnnStats() if self.config.ann is not None else None
 
         self.references = index.records()
-        self._bounds = index.shard_bounds(num_shards)
+        self._bounds = index.shard_bounds(engine.num_shards)
         packed = np.asarray(index.packed)
         if self.config.reference_ber > 0:
             # Same RNG draw order as HDOmsSearcher: one flip pass over
@@ -171,7 +256,7 @@ class ShardedSearcher:
                     backend=self._backend,
                     charge_aware=self.windows.charge_aware,
                     ann=self.config.ann,
-                    score_block_rows=score_block_rows,
+                    score_block_rows=engine.score_block_rows,
                 )
                 for shard_id, bounds in enumerate(self._bounds)
             ]
@@ -384,91 +469,6 @@ class ShardedSearcher:
                 )
             )
         return results
-
-    def _search_batch(
-        self, survivors: Sequence[Tuple[Spectrum, np.ndarray]]
-    ) -> List[Optional[PSM]]:
-        """Noise injection + mode dispatch for one encoded micro-batch.
-
-        BER flips draw from the searcher's RNG here — in the consumer
-        stage, per query in arrival order — so the noise stream is
-        identical whether or not the encode stage ran ahead.
-        """
-        pairs: List[Tuple[Spectrum, np.ndarray]] = []
-        for query, query_hv in survivors:
-            if self.config.query_ber > 0:
-                query_hv = flip_bits(
-                    query_hv, self.config.query_ber, self._noise_rng
-                )
-            pairs.append((query, query_hv))
-        if not pairs:
-            return []
-        if self.config.mode == "cascade":
-            results = self._run_pass(pairs, "standard")
-            retry = [
-                column for column, psm in enumerate(results) if psm is None
-            ]
-            if retry:
-                reopened = self._run_pass(
-                    [pairs[column] for column in retry], "open"
-                )
-                for column, psm in zip(retry, reopened):
-                    results[column] = psm
-            return results
-        return self._run_pass(pairs, self.config.mode)
-
-    def search(self, queries: Sequence[Spectrum]) -> SearchResult:
-        """Search all queries; PSM stream identical to HDOmsSearcher.
-
-        Queries are preprocessed and encoded in micro-batches of
-        ``pipeline_batch`` on a producer thread running one stage ahead
-        of scoring (two-deep bounded queue — encode batch ``k+1`` while
-        batch ``k`` is scored and merged).  Deterministic work (the
-        preprocess + fused ``encode_batch``) moves ahead; everything
-        consuming the searcher's RNG (BER injection) stays in the
-        consumer in arrival order, so the PSM stream is unchanged.
-        """
-        start = time.perf_counter()
-        unmatched = 0
-        chunks = [
-            queries[position : position + self._pipeline_batch]
-            for position in range(0, len(queries), self._pipeline_batch)
-        ]
-
-        def encode_chunk(chunk):
-            survivors = []
-            dropped = 0
-            for query in chunk:
-                processed = preprocess(query, self.preprocessing)
-                if processed is None:
-                    dropped += 1
-                else:
-                    survivors.append((query, processed))
-            encoded = encode_queries(
-                self.encoder, [processed for _, processed in survivors]
-            )
-            return (
-                [
-                    (query, query_hv)
-                    for (query, _processed), query_hv in zip(survivors, encoded)
-                ],
-                dropped,
-            )
-
-        results: List[Optional[PSM]] = []
-        for survivors, dropped in pipeline_map(encode_chunk, chunks):
-            unmatched += dropped
-            results.extend(self._search_batch(survivors))
-
-        psms = [psm for psm in results if psm is not None]
-        unmatched += sum(1 for psm in results if psm is None)
-        return SearchResult(
-            psms=psms,
-            num_queries=len(queries),
-            num_unmatched=unmatched,
-            elapsed_seconds=time.perf_counter() - start,
-            backend_name=self.backend_name,
-        )
 
 
 def _score_serial(searcher: ShardedSearcher, task: Tuple) -> Tuple:

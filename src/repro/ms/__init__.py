@@ -35,6 +35,7 @@ from .vectorize import (
 )
 from .mgf import read_mgf, write_mgf
 from .msp import read_msp, write_msp
+from .io import SPECTRUM_READERS, iter_spectra
 from .decoy import append_decoys, make_decoy_spectrum, reverse_sequence, shuffle_sequence
 from .synthetic import (
     NoiseModel,
@@ -75,6 +76,8 @@ __all__ = [
     "write_mgf",
     "read_msp",
     "write_msp",
+    "SPECTRUM_READERS",
+    "iter_spectra",
     "append_decoys",
     "make_decoy_spectrum",
     "reverse_sequence",

@@ -101,6 +101,19 @@ def read_mgf(source: Union[PathLike, TextIO]) -> Iterator[Spectrum]:
         raise MgfFormatError("file ended inside a BEGIN IONS block")
 
 
+def iter_spectra(source: Union[PathLike, TextIO]) -> Iterator[Spectrum]:
+    """Lazily iterate spectra from an MGF source, one at a time.
+
+    The streaming counterpart of ``list(read_mgf(...))``: nothing
+    beyond the spectrum currently being parsed is resident, so
+    arbitrarily large files can feed streaming consumers (e.g. the
+    segmented store builder) in bounded memory.  Format-agnostic
+    callers should prefer :func:`repro.ms.iter_spectra`, which
+    dispatches on the file extension.
+    """
+    yield from read_mgf(source)
+
+
 def write_mgf(
     spectra: Iterable[Spectrum], destination: Union[PathLike, TextIO]
 ) -> int:

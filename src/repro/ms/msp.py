@@ -128,6 +128,19 @@ def read_msp(source: Union[PathLike, TextIO]) -> Iterator[Spectrum]:
     yield from flush()
 
 
+def iter_spectra(source: Union[PathLike, TextIO]) -> Iterator[Spectrum]:
+    """Lazily iterate spectra from an MSP library, one at a time.
+
+    The streaming counterpart of ``list(read_msp(...))``: nothing
+    beyond the entry currently being parsed is resident, so
+    arbitrarily large libraries can feed streaming consumers (e.g. the
+    segmented store builder) in bounded memory.  Format-agnostic
+    callers should prefer :func:`repro.ms.iter_spectra`, which
+    dispatches on the file extension.
+    """
+    yield from read_msp(source)
+
+
 def write_msp(
     spectra: Iterable[Spectrum], destination: Union[PathLike, TextIO]
 ) -> int:

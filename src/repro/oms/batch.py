@@ -30,6 +30,7 @@ from .psm import PSM, SearchResult
 from .search import encode_queries
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..engine import EngineConfig
     from ..index.library import LibraryIndex
 
 
@@ -161,6 +162,7 @@ class BatchedHDOmsSearcher:
         encoder=None,
         ann: Optional[AnnConfig] = None,
         score_block_rows: Optional[int] = None,
+        engine: Optional["EngineConfig"] = None,
     ) -> "BatchedHDOmsSearcher":
         """Build the batched searcher from a persisted library index.
 
@@ -182,12 +184,16 @@ class BatchedHDOmsSearcher:
             ann: Optional ANN prefilter config.
             score_block_rows: Reference rows per matmul block (``None``
                 or ``0`` disables blocking).
+            engine: Optional :class:`~repro.engine.EngineConfig`
+                supplying ``ann`` / ``score_block_rows`` defaults when
+                the explicit kwargs are unset.
 
         Returns:
             A ready-to-search batched searcher.
 
         Raises:
-            ValueError: On unsupported ``mode``.
+            ValueError: On unsupported ``mode`` or when ``engine.ann``
+                disagrees with an explicit ``ann``.
             IndexCompatibilityError: If ``encoder`` disagrees with the
                 index provenance.
         """
@@ -195,6 +201,17 @@ class BatchedHDOmsSearcher:
             raise ValueError(
                 f"batched search supports 'open'/'standard', got {mode!r}"
             )
+        if engine is not None:
+            if score_block_rows is None:
+                score_block_rows = engine.score_block_rows
+            if engine.ann is not None:
+                if ann is None:
+                    ann = engine.ann
+                elif ann != engine.ann:
+                    raise ValueError(
+                        "conflicting ANN configs: engine.ann disagrees "
+                        "with the explicit ann argument"
+                    )
         if encoder is not None:
             index.validate(encoder.space.config, encoder.binning)
         searcher = cls.__new__(cls)

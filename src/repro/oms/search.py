@@ -13,6 +13,7 @@ the robustness study of Section 5.3.2 / Figure 11.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Protocol, Sequence
@@ -31,6 +32,7 @@ from .candidates import CandidateIndex, WindowConfig
 from .psm import PSM, SearchResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..engine import EngineConfig
     from ..index.library import LibraryIndex
 
 #: Queries encoded per fused ``encode_batch`` call inside ``search``.
@@ -294,6 +296,7 @@ class HDOmsSearcher:
         config: Optional[HDSearchConfig] = None,
         backend: Optional[SimilarityBackend] = None,
         encoder=None,
+        engine: Optional["EngineConfig"] = None,
     ) -> "HDOmsSearcher":
         """Build a searcher from a persisted library index.
 
@@ -304,7 +307,25 @@ class HDOmsSearcher:
         against the index provenance).  Query preprocessing uses the
         exact config the index was built with, so results match a
         searcher built from the original spectra bit for bit.
+
+        ``engine`` (an :class:`~repro.engine.EngineConfig`) supplies the
+        backend and the ANN prefilter config when ``backend`` /
+        ``config.ann`` do not; an explicit ``backend`` argument wins,
+        and an ``engine.ann`` that disagrees with ``config.ann`` is an
+        error rather than a silent preference.
         """
+        if engine is not None:
+            if backend is None:
+                backend = engine.build_backend()
+            if engine.ann is not None:
+                config = config or HDSearchConfig()
+                if config.ann is None:
+                    config = dataclasses.replace(config, ann=engine.ann)
+                elif config.ann != engine.ann:
+                    raise ValueError(
+                        "conflicting ANN configs: engine.ann disagrees "
+                        "with config.ann"
+                    )
         if encoder is not None:
             index.validate(encoder.space.config, encoder.binning)
         searcher = cls.__new__(cls)

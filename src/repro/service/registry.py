@@ -38,17 +38,20 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..index.library import LibraryIndex
 from ..obs.trace import get_tracer
+from ..store import SegmentedStore
 from .metrics import ServiceMetrics
 from .protocol import DEFAULT_ROUTE, validate_route_name
 from .server import SearchService, ServiceConfig
 
+#: One loadable index source: a path (``.npz`` file or segmented-store
+#: directory), a loaded index, or an open store.
+IndexSource = Union[str, Path, LibraryIndex, SegmentedStore]
+
 #: Anything the registry accepts as "the indexes to serve".
 IndexSources = Union[
-    str,
-    Path,
-    LibraryIndex,
-    Mapping[str, Union[str, Path, LibraryIndex]],
-    Sequence[Tuple[str, Union[str, Path, LibraryIndex]]],
+    IndexSource,
+    Mapping[str, IndexSource],
+    Sequence[Tuple[str, IndexSource]],
 ]
 
 #: Drain bound for closes the registry performs on behalf of a live
@@ -74,7 +77,7 @@ def normalize_index_sources(indexes: IndexSources) -> "Dict[str, object]":
     A bare path / index becomes the single :data:`DEFAULT_ROUTE` entry,
     preserving the original single-index ``serve()`` signature.
     """
-    if isinstance(indexes, (str, Path, LibraryIndex)):
+    if isinstance(indexes, (str, Path, LibraryIndex, SegmentedStore)):
         return {DEFAULT_ROUTE: indexes}
     if isinstance(indexes, Mapping):
         items = list(indexes.items())

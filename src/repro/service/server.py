@@ -50,6 +50,7 @@ import re
 import signal
 import threading
 import time
+import warnings
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
@@ -58,8 +59,10 @@ from urllib.parse import parse_qs, urlsplit
 
 from ..ann import AnnConfig
 from ..constants import DEFAULT_OPEN_WINDOW_DA, DEFAULT_STANDARD_WINDOW_DA
+from ..engine import EngineConfig
 from ..index.library import LibraryIndex
 from ..index.sharded import ShardedSearcher
+from ..store import SegmentedSearcher, SegmentedStore, open_search_source
 from ..ms.spectrum import Spectrum
 from ..obs.export import chrome_trace
 from ..obs.logging import ensure_default_logging
@@ -88,15 +91,31 @@ logger = logging.getLogger(__name__)
 _REQUEST_ID_PATTERN = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
 
 
+#: ServiceConfig engine fields the EngineConfig consolidation shims.
+_LEGACY_ENGINE_FIELDS = (
+    "engine",
+    "num_shards",
+    "num_workers",
+    "backend",
+    "executor",
+    "score_block_rows",
+)
+
+
 @dataclass(frozen=True)
 class ServiceConfig:
     """Knobs of one online search service instance.
 
-    ``engine="auto"`` picks the dense batched searcher (one matmul per
-    charge bucket — the fastest schedule for coalesced micro-batches)
-    whenever the configuration allows it, and falls back to the sharded
-    searcher for cascade mode, packed backends, or ``num_shards > 1``.
-    Every engine choice returns bit-identical PSMs.
+    Engine construction is configured by ``engine_config`` (an
+    :class:`~repro.engine.EngineConfig`); its ``kind="auto"`` picks the
+    dense batched searcher (one matmul per charge bucket — the fastest
+    schedule for coalesced micro-batches) whenever the configuration
+    allows it, the segmented searcher for manifest-backed stores, and
+    the sharded searcher otherwise — every engine choice over the same
+    index rows returns bit-identical PSMs.  The individual engine
+    fields (``engine``, ``num_shards``, ``num_workers``, ``backend``,
+    ``executor``, ``score_block_rows``) remain as deprecated shims and
+    may not be combined with ``engine_config``.
 
     ``ann`` (optional :class:`~repro.ann.AnnConfig`) turns on the
     Hamming-LSH candidate prefilter for this route's engine; results
@@ -108,57 +127,106 @@ class ServiceConfig:
     max_batch: int = 32
     max_wait_ms: float = 5.0
     cache_capacity: int = 1024
-    engine: str = "auto"  # "auto" | "batched" | "sharded"
-    num_shards: int = 1
-    num_workers: Optional[int] = 0
-    backend: str = "dense"
+    engine: str = "auto"  # deprecated: use engine_config.kind
+    num_shards: int = 1  # deprecated: use engine_config
+    num_workers: Optional[int] = 0  # deprecated: use engine_config
+    backend: str = "dense"  # deprecated: use engine_config
     mode: str = "open"
     open_window_da: float = DEFAULT_OPEN_WINDOW_DA
     standard_tolerance_da: float = DEFAULT_STANDARD_WINDOW_DA
     charge_aware: bool = True
     ann: Optional[AnnConfig] = None
-    executor: str = "process"  # sharded engine: "process" | "thread"
-    score_block_rows: Optional[int] = None
+    executor: str = "process"  # deprecated: use engine_config
+    score_block_rows: Optional[int] = None  # deprecated: use engine_config
+    engine_config: Optional[EngineConfig] = None
+
+    def _legacy_overrides(self) -> Dict[str, object]:
+        """The deprecated engine fields that differ from their defaults."""
+        defaults = {
+            "engine": "auto",
+            "num_shards": 1,
+            "num_workers": 0,
+            "backend": "dense",
+            "executor": "process",
+            "score_block_rows": None,
+        }
+        return {
+            name: getattr(self, name)
+            for name in _LEGACY_ENGINE_FIELDS
+            if getattr(self, name) != defaults[name]
+        }
+
+    def resolved_engine(self) -> EngineConfig:
+        """The single :class:`~repro.engine.EngineConfig` this service runs.
+
+        Either ``engine_config`` verbatim (with ``ann`` folded in when
+        only the legacy field carries it) or one assembled from the
+        deprecated per-field knobs.
+        """
+        if self.engine_config is not None:
+            if self.engine_config.ann is None and self.ann is not None:
+                return self.engine_config.replace(ann=self.ann)
+            return self.engine_config
+        return EngineConfig(
+            kind=self.engine,
+            backend=self.backend,
+            num_shards=self.num_shards,
+            num_workers=self.num_workers,
+            executor=self.executor,
+            score_block_rows=self.score_block_rows,
+            ann=self.ann,
+        )
+
+    def resolved_ann(self) -> Optional[AnnConfig]:
+        """The effective ANN prefilter config (whichever field holds it)."""
+        return self.resolved_engine().ann
+
+    def with_ann(self, ann: Optional[AnnConfig]) -> "ServiceConfig":
+        """A copy with the ANN config swapped, wherever it lives."""
+        if self.engine_config is not None:
+            return dataclasses.replace(
+                self, ann=None, engine_config=self.engine_config.replace(ann=ann)
+            )
+        return dataclasses.replace(self, ann=ann)
 
     def __post_init__(self) -> None:
         """Fail fast on any inconsistent knob combination."""
-        if self.engine not in ("auto", "batched", "sharded"):
-            raise ValueError(f"unknown engine {self.engine!r}")
+        legacy = self._legacy_overrides()
+        if self.engine_config is not None and legacy:
+            raise ValueError(
+                "pass engine knobs via engine_config=EngineConfig(...) or "
+                f"the legacy fields, not both: {sorted(legacy)}"
+            )
+        if legacy:
+            warnings.warn(
+                f"ServiceConfig engine fields ({', '.join(_LEGACY_ENGINE_FIELDS)}) "
+                "are deprecated; pass engine_config=repro.engine.EngineConfig(...) "
+                "instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        # EngineConfig validates the execution knobs (kind, backend,
+        # worker counts, executor, tiling); re-raised here so a bad
+        # config fails at construction, not on the first search.
+        resolved = self.resolved_engine()
         if self.mode not in ("open", "standard", "cascade"):
             raise ValueError(f"unknown mode {self.mode!r}")
-        if self.engine == "batched" and self.mode == "cascade":
+        if resolved.kind == "batched" and self.mode == "cascade":
             raise ValueError("the batched engine does not support cascade mode")
-        if self.engine == "batched" and self.backend != "dense":
+        if resolved.kind == "batched" and resolved.backend_label != "dense":
             raise ValueError(
                 f"the batched engine is dense-only; use engine='sharded' "
-                f"for backend {self.backend!r}"
+                f"for backend {resolved.backend_label!r}"
             )
-        if self.engine == "batched" and self.num_shards != 1:
+        if resolved.kind == "batched" and resolved.num_shards != 1:
             raise ValueError(
                 "the batched engine does not shard; use engine='sharded' "
-                f"for num_shards={self.num_shards}"
+                f"for num_shards={resolved.num_shards}"
             )
-        if self.engine == "batched" and self.num_workers != 0:
+        if resolved.kind == "batched" and resolved.num_workers != 0:
             raise ValueError(
                 "the batched engine runs in-process; use engine='sharded' "
-                f"for num_workers={self.num_workers}"
-            )
-        # Pool creation is lazy, so a bad worker count would otherwise
-        # surface as HTTP 500s on the first search instead of a clean
-        # startup failure.
-        if self.num_workers is not None and self.num_workers < 0:
-            raise ValueError(
-                f"num_workers must be >= 0 or None, got {self.num_workers}"
-            )
-        if self.executor not in ("process", "thread"):
-            raise ValueError(
-                f"unknown executor {self.executor!r}; "
-                "expected 'process' or 'thread'"
-            )
-        if self.score_block_rows is not None and self.score_block_rows < 0:
-            raise ValueError(
-                f"score_block_rows must be >= 0 or None, "
-                f"got {self.score_block_rows}"
+                f"for num_workers={resolved.num_workers}"
             )
 
     def windows(self) -> WindowConfig:
@@ -171,7 +239,7 @@ class ServiceConfig:
 
     def search_config(self) -> HDSearchConfig:
         """The search-stage config (mode + ANN) the engines run with."""
-        return HDSearchConfig(mode=self.mode, ann=self.ann)
+        return HDSearchConfig(mode=self.mode, ann=self.resolved_ann())
 
 
 #: How long a reload may wait for the in-flight batch before giving up
@@ -212,7 +280,7 @@ class SearchService:
 
     def __init__(
         self,
-        index: Union[LibraryIndex, str, Path],
+        index: Union[LibraryIndex, SegmentedStore, str, Path],
         config: Optional[ServiceConfig] = None,
         metrics: Optional[ServiceMetrics] = None,
         route: str = DEFAULT_ROUTE,
@@ -226,8 +294,10 @@ class SearchService:
         # idempotent, so routes sharing one ServiceMetrics attach once.
         self.metrics.attach(get_tracer())
         if isinstance(index, (str, Path)):
+            # A directory (or manifest.json) opens as a SegmentedStore;
+            # anything else loads as a monolithic .npz index.
             self.index_path: Optional[Path] = Path(index)
-            self.index = LibraryIndex.load(self.index_path)
+            self.index = open_search_source(self.index_path)
         else:
             self.index_path = None
             self.index = index
@@ -238,7 +308,7 @@ class SearchService:
         self._generation = 0
         # Remember the last concrete ANN config so set_ann(True) after a
         # set_ann(False) re-enables the same knobs, not the defaults.
-        self._last_ann: Optional[AnnConfig] = self.config.ann
+        self._last_ann: Optional[AnnConfig] = self.config.resolved_ann()
         self._ann_generation = -1
         self._ann_last: Dict[str, int] = {}
         self._engine, self._engine_label, self._fingerprint = self._build_engine(
@@ -268,50 +338,78 @@ class SearchService:
     # engine construction / batch execution
     # ------------------------------------------------------------------
 
-    def _engine_kind(self, config: Optional[ServiceConfig] = None) -> str:
+    def _engine_kind(
+        self,
+        config: Optional[ServiceConfig] = None,
+        index: Union[LibraryIndex, SegmentedStore, None] = None,
+    ) -> str:
         config = config or self.config
-        if config.engine != "auto":
-            return config.engine
+        index = index if index is not None else self.index
+        resolved = config.resolved_engine()
+        segmented = isinstance(index, SegmentedStore)
+        if resolved.kind != "auto":
+            if segmented and resolved.kind != "segmented":
+                raise ValueError(
+                    f"engine kind {resolved.kind!r} cannot serve a segmented "
+                    "store; use 'auto' or 'segmented'"
+                )
+            if not segmented and resolved.kind == "segmented":
+                raise ValueError(
+                    "engine kind 'segmented' requires a manifest-backed "
+                    "store, not a monolithic index"
+                )
+            return resolved.kind
+        if segmented:
+            return "segmented"
         if (
             config.mode in ("open", "standard")
-            and config.num_shards == 1
-            and config.backend == "dense"
+            and resolved.num_shards == 1
+            and resolved.backend_label == "dense"
             # Asking for workers (N > 0, or None = one per CPU) is an
             # explicit request for the process pool — honour it rather
             # than silently serving in-process.
-            and config.num_workers == 0
+            and resolved.num_workers == 0
         ):
             return "batched"
         return "sharded"
 
     def _build_engine(
-        self, index: LibraryIndex, config: Optional[ServiceConfig] = None
+        self,
+        index: Union[LibraryIndex, SegmentedStore],
+        config: Optional[ServiceConfig] = None,
     ):
         """Build the warm searcher + the cache fingerprint for it."""
         config = config or self.config
         windows = config.windows()
         search_config = config.search_config()
-        if self._engine_kind(config) == "batched":
+        engine_config = config.resolved_engine()
+        kind = self._engine_kind(config, index)
+        if kind == "batched":
             engine = BatchedHDOmsSearcher.from_index(
                 index,
                 windows=windows,
                 mode=config.mode,
-                ann=config.ann,
-                score_block_rows=config.score_block_rows,
+                engine=engine_config,
             )
             label = (
-                "batched-dense+ann" if config.ann is not None else "batched-dense"
+                "batched-dense+ann"
+                if engine_config.ann is not None
+                else "batched-dense"
             )
+        elif kind == "segmented":
+            engine = SegmentedSearcher(
+                index,
+                windows=windows,
+                config=search_config,
+                engine=engine_config.replace(kind="segmented"),
+            )
+            label = engine.backend_name
         else:
             engine = ShardedSearcher(
                 index,
-                num_shards=config.num_shards,
                 windows=windows,
                 config=search_config,
-                backend=config.backend,
-                num_workers=config.num_workers,
-                executor=config.executor,
-                score_block_rows=config.score_block_rows,
+                engine=engine_config.replace(kind="sharded"),
             )
             label = engine.backend_name
         fingerprint = config_fingerprint(
@@ -539,7 +637,7 @@ class SearchService:
                 "service was built from an in-memory index; "
                 "pass index_path to reload"
             )
-        new_index = LibraryIndex.load(path)
+        new_index = open_search_source(path)
         new_engine, new_label, new_fingerprint = self._build_engine(new_index)
         # Bounded engine-lock acquire: the swap normally waits only for
         # the batch in flight, but a *wedged* batch holds the lock
@@ -568,6 +666,7 @@ class SearchService:
                 else:
                     aborted_engine = None
                     old_engine = self._engine
+                    old_index = self.index
                     self._engine = new_engine
                     self._engine_label = new_label
                     self._fingerprint = new_fingerprint
@@ -586,6 +685,8 @@ class SearchService:
         self._route_metrics.observe_reload()
         if hasattr(old_engine, "close"):
             old_engine.close()
+        if isinstance(old_index, SegmentedStore) and old_index is not new_index:
+            old_index.close()
         logger.info(
             "route %s reloaded from %s (%d references, engine=%s)",
             self.route,
@@ -622,7 +723,7 @@ class SearchService:
         if self._closed:
             raise RuntimeError("service is closed")
         target = (ann or self._last_ann or AnnConfig()) if enabled else None
-        new_config = dataclasses.replace(self.config, ann=target)
+        new_config = self.config.with_ann(target)
         if new_config == self.config:
             return self._engine_label
         index = self.index
@@ -687,7 +788,7 @@ class SearchService:
             "index": self.index.summary(),
             "num_references": self.index.num_references,
             "engine": self.engine_name,
-            "ann": self.config.ann is not None,
+            "ann": self.config.resolved_ann() is not None,
             "uptime_seconds": round(time.time() - self._started, 3),
         }
 
@@ -740,6 +841,7 @@ class SearchService:
                 "max_wait_ms": self.config.max_wait_ms,
                 "executor": getattr(self._engine, "executor_kind", "inline"),
                 "arena_bytes": int(getattr(self._engine, "arena_nbytes", 0)),
+                "config": self.config.resolved_engine().to_dict(),
                 "ann": self._ann_section(),
             },
             "uptime_seconds": round(time.time() - self._started, 3),
@@ -772,6 +874,11 @@ class SearchService:
             engine = self._engine
         if hasattr(engine, "close"):
             engine.close()
+        if self.index_path is not None and isinstance(self.index, SegmentedStore):
+            # The service opened this store itself (path source), so it
+            # owns the mmap'd segment cache; caller-provided stores are
+            # the caller's to close.
+            self.index.close()
         if self._owns_metrics:
             # Shared (registry-owned) metrics stay attached: sibling
             # routes are still exporting stage histograms through them.

@@ -88,3 +88,36 @@ def test_score_trajectory_matches_encode_format():
         assert entry["num_workers"] >= 1
         assert entry["thread_cold_seconds"] > 0
         assert entry["process_cold_seconds"] > 0
+
+
+#: Keys the streaming-ingest memory trajectory pins.
+STORE_KEYS = {
+    "bench",
+    "timestamp",
+    "references",
+    "dim",
+    "segment_rows",
+    "segments",
+    "baseline_mb",
+    "monolithic_rss_mb",
+    "streaming_rss_mb",
+    "rss_cap_mb",
+    "memory_ratio",
+    "seconds",
+}
+
+
+def test_store_trajectory_pins_the_rss_gate():
+    path = RESULTS_DIR / "BENCH_store.json"
+    if not path.exists():
+        return  # not produced on this machine yet; schema trivially holds
+    for entry in _entries(path):
+        assert entry["bench"] == "store_streaming_ingest"
+        missing = STORE_KEYS - entry.keys()
+        assert not missing, f"entry missing {sorted(missing)}"
+        assert entry["references"] >= 4000
+        assert entry["segments"] >= 2
+        # Every recorded run must have passed its self-calibrated gate.
+        assert entry["streaming_rss_mb"] <= entry["rss_cap_mb"]
+        assert entry["monolithic_rss_mb"] > entry["baseline_mb"]
+        assert 0.0 <= entry["memory_ratio"] < 1.0

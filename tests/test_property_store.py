@@ -1,0 +1,111 @@
+"""Property-based tests for segmented-store incremental-build identity.
+
+The store's core contract: because each row's hypervector is a pure
+function of (spectrum, config) and segments concatenate in ingestion
+order, *any* split of a spectrum stream across ``build_store`` /
+``append_store`` calls — under any ``segment_rows`` — followed by any
+``merge_store`` compaction, yields packed rows (and therefore search
+results) bit-identical to a single-shot build.  Hypothesis explores the
+split/segment-size/compaction space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.hdc.spaces import HDSpaceConfig
+from repro.index.library import LibraryIndex
+from repro.ms.synthetic import WorkloadConfig, build_workload
+from repro.ms.vectorize import BinningConfig
+from repro.store import (
+    SegmentedStore,
+    StoreCompatibilityError,
+    append_store,
+    build_store,
+    merge_store,
+)
+
+BINNING = BinningConfig()
+SPACE = HDSpaceConfig(dim=256, num_bins=BINNING.num_bins, seed=29)
+REFERENCES = build_workload(
+    WorkloadConfig(name="prop", num_references=30, num_queries=0, seed=31)
+).references
+BASELINE = LibraryIndex.build(
+    REFERENCES, space_config=SPACE, binning=BINNING
+)
+
+
+def _assert_matches_baseline(store: SegmentedStore) -> None:
+    merged = store.to_index()
+    np.testing.assert_array_equal(merged.packed, BASELINE.packed)
+    np.testing.assert_array_equal(
+        merged.neutral_masses, BASELINE.neutral_masses
+    )
+    assert list(merged.identifiers) == list(BASELINE.identifiers)
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    splits=st.lists(
+        st.integers(min_value=1, max_value=len(REFERENCES) - 1),
+        max_size=3,
+        unique=True,
+    ),
+    segment_rows=st.integers(min_value=1, max_value=len(REFERENCES) + 5),
+    merge_target=st.none() | st.integers(min_value=1, max_value=40),
+)
+def test_any_split_and_merge_is_bit_identical(
+    tmp_path_factory, splits, segment_rows, merge_target
+):
+    """build → append* → merge ≡ single-shot build, for every split."""
+    root = tmp_path_factory.mktemp("prop-store") / "store"
+    bounds = [0, *sorted(splits), len(REFERENCES)]
+    chunks = [
+        REFERENCES[lo:hi]
+        for lo, hi in zip(bounds, bounds[1:])
+        if hi > lo
+    ]
+    store = build_store(
+        chunks[0],
+        root,
+        space_config=SPACE,
+        binning=BINNING,
+        segment_rows=segment_rows,
+    )
+    store.close()
+    for chunk in chunks[1:]:
+        append_store(root, chunk, segment_rows=segment_rows).close()
+    with SegmentedStore.open(root) as grown:
+        _assert_matches_baseline(grown)
+    with merge_store(root, target_rows=merge_target) as compacted:
+        _assert_matches_baseline(compacted)
+        if merge_target is None:
+            assert compacted.num_segments == 1
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    dim=st.sampled_from([128, 512]),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_append_rejects_any_provenance_drift(tmp_path_factory, dim, seed):
+    """Appending under a different space config never succeeds."""
+    root = tmp_path_factory.mktemp("prop-store") / "store"
+    build_store(
+        REFERENCES[:10], root, space_config=SPACE, binning=BINNING
+    ).close()
+    drifted = HDSpaceConfig(dim=dim, num_bins=BINNING.num_bins, seed=seed)
+    assert drifted != SPACE
+    with pytest.raises(StoreCompatibilityError, match="provenance mismatch"):
+        append_store(root, REFERENCES[10:], space_config=drifted)
