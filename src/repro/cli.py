@@ -527,6 +527,136 @@ def _add_serve_parser(subparsers) -> None:
     _add_logging_arguments(parser)
 
 
+def _add_coordinate_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "coordinate",
+        help=(
+            "scatter-gather coordinator over precursor-partitioned "
+            "repro-serve workers (bit-identical to single-node)"
+        ),
+    )
+    parser.add_argument(
+        "--store",
+        type=Path,
+        required=True,
+        dest="store_path",
+        help="segmented store directory the partition plan is built from",
+    )
+    parser.add_argument(
+        "--partitions",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker partitions (clamped to the store's segment count)",
+    )
+    parser.add_argument(
+        "--strategy",
+        choices=("rows", "mass"),
+        default="rows",
+        help=(
+            "rows = contiguous manifest runs balanced by row count "
+            "(parallelism); mass = segments grouped by precursor-mass "
+            "range (pruning)"
+        ),
+    )
+    workers = parser.add_mutually_exclusive_group(required=True)
+    workers.add_argument(
+        "--worker",
+        action="append",
+        dest="workers",
+        metavar="URL",
+        help=(
+            "pre-started worker URL; repeat per partition (extras become "
+            "replicas, dealt round-robin: URL i serves partition i %% N)"
+        ),
+    )
+    workers.add_argument(
+        "--spawn-workers",
+        action="store_true",
+        help=(
+            "materialize the partition manifests and spawn one local "
+            "repro serve per partition"
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8347)
+    parser.add_argument(
+        "--mode", choices=("open", "standard", "cascade"), default="open"
+    )
+    parser.add_argument("--open-window", type=float, default=500.0)
+    parser.add_argument(
+        "--worker-threads",
+        type=int,
+        default=0,
+        metavar="N",
+        help="scoring threads per spawned worker (0 = serial)",
+    )
+    robustness = parser.add_argument_group(
+        "robustness", "admission, hedging, and health probing knobs"
+    )
+    robustness.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        metavar="N",
+        help=(
+            "search requests admitted at once; excess get HTTP 429 with "
+            "Retry-After (default 64)"
+        ),
+    )
+    robustness.add_argument(
+        "--worker-timeout",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="per-call worker deadline in seconds (default 60)",
+    )
+    robustness.add_argument(
+        "--probe-interval",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="seconds between /healthz probe rounds (default 2)",
+    )
+    robustness.add_argument(
+        "--hedge-floor-ms",
+        type=float,
+        default=20.0,
+        metavar="MS",
+        help=(
+            "lower bound on the p99-derived hedge deadline (default 20)"
+        ),
+    )
+    robustness.add_argument(
+        "--startup-timeout",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="seconds to wait for every partition to turn healthy",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log one line per HTTP request",
+    )
+    observability = parser.add_argument_group(
+        "observability", "span tracing (docs/observability.md)"
+    )
+    observability.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="disable span tracing",
+    )
+    observability.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=None,
+        metavar="N",
+        help="span ring-buffer size (default 4096)",
+    )
+    _add_logging_arguments(parser)
+
+
 def _add_profile_parser(subparsers) -> None:
     parser = subparsers.add_parser(
         "profile",
@@ -616,6 +746,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_search_parser(subparsers)
     _add_index_parser(subparsers)
     _add_serve_parser(subparsers)
+    _add_coordinate_parser(subparsers)
     _add_profile_parser(subparsers)
     _add_experiment_parser(subparsers)
     subparsers.add_parser("info", help="print version and defaults")
@@ -1254,6 +1385,52 @@ def cmd_serve(args) -> int:
         return 2
 
 
+def cmd_coordinate(args) -> int:
+    """Entry point for ``hdoms coordinate`` (scatter-gather front-end)."""
+    from .constants import DEFAULT_STANDARD_WINDOW_DA
+    from .coord import serve_coordinate
+    from .obs.trace import DEFAULT_CAPACITY
+    from .service.server import ServiceStartupError
+
+    try:
+        _setup_logging_from_args(args)
+        if args.partitions < 1:
+            raise ValueError(
+                f"--partitions must be >= 1, got {args.partitions}"
+            )
+        return serve_coordinate(
+            args.store_path,
+            num_partitions=args.partitions,
+            strategy=args.strategy,
+            worker_urls=args.workers,
+            spawn_workers=args.spawn_workers,
+            host=args.host,
+            port=args.port,
+            mode=args.mode,
+            open_window=args.open_window,
+            standard_tolerance=DEFAULT_STANDARD_WINDOW_DA,
+            worker_threads=args.worker_threads,
+            max_inflight=args.max_inflight,
+            worker_timeout=args.worker_timeout,
+            probe_interval=args.probe_interval,
+            hedge_floor_ms=args.hedge_floor_ms,
+            startup_timeout=args.startup_timeout,
+            quiet=not args.verbose,
+            trace=not args.no_trace,
+            trace_capacity=(
+                args.trace_capacity
+                if args.trace_capacity is not None
+                else DEFAULT_CAPACITY
+            ),
+        )
+    except ValueError as error:
+        print(f"coordinate: {error}", file=sys.stderr)
+        return 2
+    except ServiceStartupError as error:
+        print(f"coordinate: {error}", file=sys.stderr)
+        return 2
+
+
 def cmd_profile(args) -> int:
     """Entry point for ``hdoms profile`` (traced search + stage table)."""
     import json
@@ -1391,6 +1568,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_index(args)
     if args.command == "serve":
         return cmd_serve(args)
+    if args.command == "coordinate":
+        return cmd_coordinate(args)
     if args.command == "profile":
         return cmd_profile(args)
     if args.command == "experiment":

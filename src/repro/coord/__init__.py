@@ -1,0 +1,57 @@
+"""Scale-out coordinator tier: precursor-partitioned scatter-gather.
+
+``repro.coord`` turns one segmented store plus a fleet of stock
+``repro serve`` workers into a single search endpoint that is
+**bit-identical** to a single-node search:
+
+* :mod:`repro.coord.partition` — split a store's segment manifest into
+  N partitions (balanced by rows or grouped by precursor-mass range)
+  and materialize each as a zero-copy store directory;
+* :mod:`repro.coord.fleet` — spawn/reap local ``repro serve`` workers
+  for the one-command demo topology;
+* :mod:`repro.coord.aioclient` — pooled asyncio HTTP/1.1 transport;
+* :mod:`repro.coord.coordinator` — routing, health probing, hedged
+  calls with bounded retry, and the exact cross-worker winner merge;
+* :mod:`repro.coord.server` — the HTTP front-end with backpressure
+  admission, speaking the same JSON API as a worker;
+* :mod:`repro.coord.metrics` — the ``hdoms_coord_`` metric families.
+
+See ``docs/scale-out.md`` for topology and tuning guidance.
+"""
+
+from .aioclient import AsyncClientError, AsyncHTTPError, AsyncSearchClient
+from .coordinator import Coordinator, CoordinatorError, merge_psm_payloads
+from .fleet import FleetError, LocalWorkerFleet
+from .metrics import CoordinatorMetrics
+from .partition import (
+    PartitionPlan,
+    PartitionSpec,
+    materialize_partitions,
+)
+from .server import (
+    CoordinatorServer,
+    CoordinatorService,
+    assign_replicas,
+    serve_coordinate,
+    start_coordinator_server,
+)
+
+__all__ = [
+    "AsyncClientError",
+    "AsyncHTTPError",
+    "AsyncSearchClient",
+    "Coordinator",
+    "CoordinatorError",
+    "CoordinatorMetrics",
+    "CoordinatorServer",
+    "CoordinatorService",
+    "FleetError",
+    "LocalWorkerFleet",
+    "PartitionPlan",
+    "PartitionSpec",
+    "assign_replicas",
+    "materialize_partitions",
+    "merge_psm_payloads",
+    "serve_coordinate",
+    "start_coordinator_server",
+]

@@ -1,0 +1,590 @@
+"""Scatter-gather coordinator over precursor-partitioned workers.
+
+:class:`Coordinator` fronts a fleet of ``repro serve`` workers, each
+serving one partition of a :class:`~repro.coord.partition.PartitionPlan`
+(optionally replicated).  Per query it:
+
+1. **routes** — computes the precursor window ``[mass - hw, mass + hw]``
+   and scatters only to partitions whose mass hull intersects it (a
+   superset of the worker's own exact per-segment pruning, so skipping
+   never changes results);
+2. **calls** — per partition, picks replicas healthy-first in
+   round-robin order, fires the primary, hedges to a sibling when the
+   call exceeds a p99-derived deadline, and retries once on the next
+   replica after a failure;
+3. **merges** — combines per-worker winners with the exact global rule
+   every engine applies (max score, ties to lowest reference neutral
+   mass, then lowest global row), using the PSM merge fields
+   (``reference_mass``, ``library_position``) carried on the wire and
+   :meth:`PartitionSpec.to_global` for the row mapping.
+
+Because per-row scores are independent of batch composition and JSON
+round-trips floats exactly, the merged output is **bit-identical** to a
+single-node search over the unpartitioned library.
+
+All network I/O runs on one asyncio loop in a daemon thread; the
+public ``search_payloads`` / ``wait_ready`` / ``close`` facade is
+blocking and thread-safe, so the ThreadingHTTPServer front-end in
+:mod:`repro.coord.server` calls straight into it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..obs.trace import get_tracer
+from ..service.protocol import spectrum_from_payload
+from .aioclient import AsyncSearchClient
+from .metrics import CoordinatorMetrics
+from .partition import PartitionSpec
+
+logger = logging.getLogger("repro.coord")
+
+#: Hedge deadline used until a partition has enough latency samples.
+DEFAULT_HEDGE_SECONDS = 1.0
+
+#: Latency samples required before the p99 deadline kicks in.
+MIN_HEDGE_SAMPLES = 16
+
+#: Per-partition latency samples retained for the hedge deadline.
+LATENCY_WINDOW = 256
+
+
+class CoordinatorError(RuntimeError):
+    """A partition could not be served by any of its replicas."""
+
+
+def merge_psm_payloads(
+    entries: Sequence[Tuple[Optional[dict], PartitionSpec]],
+) -> Optional[dict]:
+    """Merge per-partition winner payloads with the global engine rule.
+
+    ``entries`` pairs each consulted partition's PSM payload (or None)
+    with its :class:`PartitionSpec`.  The winner is chosen by max
+    score, ties to lowest reference neutral mass, then lowest *global*
+    library row — exactly ``np.lexsort((positions, masses, -scores))``
+    restricted to the per-partition winners, which equals the
+    single-node winner because each worker already applied the same
+    rule to its subset.
+
+    Cascade composition: a ``mode == "standard"`` candidate means the
+    single-node standard pass would have matched, so open-pass
+    candidates from other partitions are excluded before merging.
+
+    The returned payload is a copy with ``library_position`` rewritten
+    from worker-local to global row numbering.
+
+    Raises:
+        CoordinatorError: When a worker's PSM lacks the merge fields
+            (an old worker version that cannot be merged exactly).
+    """
+    candidates: List[Tuple[float, float, int, dict]] = []
+    for payload, spec in entries:
+        if payload is None:
+            continue
+        mass = payload.get("reference_mass")
+        position = payload.get("library_position")
+        if mass is None or position is None:
+            raise CoordinatorError(
+                f"worker PSM for partition p{spec.index} is missing the "
+                "merge fields (reference_mass/library_position); upgrade "
+                "the worker — exact cross-worker merging is impossible "
+                "without them"
+            )
+        candidates.append(
+            (
+                float(payload["score"]),
+                float(mass),
+                spec.to_global(int(position)),
+                payload,
+            )
+        )
+    if not candidates:
+        return None
+    if any(c[3].get("mode") == "standard" for c in candidates):
+        candidates = [c for c in candidates if c[3].get("mode") == "standard"]
+    best = min(candidates, key=lambda c: (-c[0], c[1], c[2]))
+    winner = dict(best[3])
+    winner["library_position"] = best[2]
+    return winner
+
+
+class WorkerHandle:
+    """One worker replica: its URL, client, and probed health."""
+
+    def __init__(
+        self,
+        url: str,
+        partition: int,
+        max_connections: int,
+        timeout: float,
+    ) -> None:
+        self.url = url.rstrip("/")
+        self.partition = partition
+        self.client = AsyncSearchClient(
+            self.url, max_connections=max_connections, timeout=timeout
+        )
+        self.healthy = False
+        self.last_error: Optional[str] = None
+        self._warned_mismatch = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "healthy" if self.healthy else "unhealthy"
+        return f"WorkerHandle(p{self.partition}, {self.url}, {state})"
+
+
+def _consume_result(task: "asyncio.Task") -> None:
+    """Done-callback keeping cancelled/raced tasks from logging noise."""
+    if task.cancelled():
+        return
+    task.exception()
+
+
+class Coordinator:
+    """Blocking facade over the async scatter-gather engine.
+
+    Args:
+        partitions: The plan's :class:`PartitionSpec` list, in order.
+        worker_urls: Per-partition replica URL lists, aligned to
+            ``partitions``; every partition needs at least one URL.
+        mode: The workers' search mode (``open``/``standard``/
+            ``cascade``) — determines the routing half-width.
+        standard_tolerance: Standard-window half-width in Dalton.
+        open_window: Open-window half-width in Dalton.
+        metrics: Shared metric schema (a fresh one by default).
+        worker_timeout: Per-call worker deadline in seconds.
+        probe_interval: Seconds between health-probe rounds.
+        hedge_floor_ms: Lower bound on the hedge deadline.
+        verify_partitions: Cross-check each worker's reported
+            ``num_references`` against its partition spec during
+            probes; a mismatched worker is marked unhealthy (it is
+            serving the wrong library slice — merging its winners
+            would be silently incorrect).
+    """
+
+    def __init__(
+        self,
+        partitions: Sequence[PartitionSpec],
+        worker_urls: Sequence[Sequence[str]],
+        mode: str = "open",
+        standard_tolerance: float = 0.05,
+        open_window: float = 500.0,
+        metrics: Optional[CoordinatorMetrics] = None,
+        worker_timeout: float = 60.0,
+        probe_interval: float = 2.0,
+        hedge_floor_ms: float = 20.0,
+        max_connections_per_worker: int = 32,
+        verify_partitions: bool = True,
+    ) -> None:
+        if len(partitions) != len(worker_urls):
+            raise ValueError(
+                f"{len(partitions)} partitions but {len(worker_urls)} "
+                "worker groups"
+            )
+        for spec, urls in zip(partitions, worker_urls):
+            if not urls:
+                raise ValueError(f"partition p{spec.index} has no workers")
+        self.partitions = list(partitions)
+        self.mode = mode
+        self.standard_tolerance = float(standard_tolerance)
+        self.open_window = float(open_window)
+        self.metrics = metrics or CoordinatorMetrics()
+        self.worker_timeout = float(worker_timeout)
+        self.probe_interval = float(probe_interval)
+        self.hedge_floor = float(hedge_floor_ms) / 1000.0
+        self.verify_partitions = verify_partitions
+        self._workers: List[List[WorkerHandle]] = [
+            [
+                WorkerHandle(
+                    url,
+                    spec.index,
+                    max_connections=max_connections_per_worker,
+                    timeout=worker_timeout,
+                )
+                for url in urls
+            ]
+            for spec, urls in zip(partitions, worker_urls)
+        ]
+        self._round_robin = [0] * len(self.partitions)
+        self._latencies: List[List[float]] = [[] for _ in self.partitions]
+        self._closing = False
+        self._probe_task: Optional["asyncio.Task"] = None
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="coordinator-loop", daemon=True
+        )
+        self._thread.start()
+        self._submit(self._start_prober()).result()
+
+    # ------------------------------------------------------------------
+    # loop plumbing
+    # ------------------------------------------------------------------
+
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    def _submit(self, coroutine) -> "asyncio.Future":
+        return asyncio.run_coroutine_threadsafe(coroutine, self._loop)
+
+    async def _start_prober(self) -> None:
+        self._probe_task = asyncio.ensure_future(self._probe_loop())
+
+    def close(self) -> None:
+        """Stop probing, close every client, and stop the loop thread."""
+        if self._closing:
+            return
+        self._closing = True
+        self._submit(self._shutdown()).result(timeout=30.0)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+        self._loop.close()
+
+    async def _shutdown(self) -> None:
+        if self._probe_task is not None:
+            self._probe_task.cancel()
+            try:
+                await self._probe_task
+            except asyncio.CancelledError:
+                pass
+        for group in self._workers:
+            for handle in group:
+                await handle.client.close()
+
+    def __enter__(self) -> "Coordinator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # health probing
+    # ------------------------------------------------------------------
+
+    async def _probe_loop(self) -> None:
+        while True:
+            await self._probe_all()
+            await asyncio.sleep(self.probe_interval)
+
+    async def _probe_all(self) -> None:
+        await asyncio.gather(
+            *(
+                self._probe(handle, spec)
+                for spec, group in zip(self.partitions, self._workers)
+                for handle in group
+            ),
+            return_exceptions=True,
+        )
+
+    async def _probe(self, handle: WorkerHandle, spec: PartitionSpec) -> None:
+        try:
+            status, body = await handle.client.request_json(
+                "GET",
+                "/healthz",
+                timeout=min(5.0, self.worker_timeout),
+                raise_for_status=False,
+            )
+        except Exception as error:  # noqa: BLE001 - probe boundary
+            was_healthy = handle.healthy
+            handle.healthy = False
+            handle.last_error = str(error)
+            if was_healthy:
+                logger.warning(
+                    "worker %s (p%d) went unhealthy: %s",
+                    handle.url,
+                    handle.partition,
+                    error,
+                )
+            return
+        healthy = status == 200 and not body.get("draining", False)
+        if healthy and self.verify_partitions:
+            reported = body.get("num_references")
+            if reported is not None and int(reported) != spec.num_references:
+                healthy = False
+                handle.last_error = (
+                    f"serves {reported} references, partition p{spec.index} "
+                    f"expects {spec.num_references}"
+                )
+                if not handle._warned_mismatch:
+                    handle._warned_mismatch = True
+                    logger.warning(
+                        "worker %s rejected: %s", handle.url, handle.last_error
+                    )
+        if healthy:
+            handle.last_error = None
+        elif handle.healthy:
+            logger.warning(
+                "worker %s (p%d) went unhealthy (status %d, draining=%s)",
+                handle.url,
+                handle.partition,
+                status,
+                body.get("draining"),
+            )
+        handle.healthy = healthy
+
+    def wait_ready(self, timeout: float = 60.0) -> None:
+        """Block until every partition has at least one healthy worker.
+
+        Raises:
+            CoordinatorError: When the deadline passes first.
+        """
+        import time as _time
+
+        deadline = _time.monotonic() + timeout
+        while True:
+            self._submit(self._probe_all()).result()
+            missing = [
+                spec.index
+                for spec, group in zip(self.partitions, self._workers)
+                if not any(handle.healthy for handle in group)
+            ]
+            if not missing:
+                return
+            if _time.monotonic() >= deadline:
+                details = "; ".join(
+                    f"p{spec.index}: "
+                    + ", ".join(
+                        f"{handle.url} ({handle.last_error or 'unprobed'})"
+                        for handle in group
+                    )
+                    for spec, group in zip(self.partitions, self._workers)
+                    if spec.index in missing
+                )
+                raise CoordinatorError(
+                    f"partitions {missing} have no healthy worker after "
+                    f"{timeout:.0f}s — {details}"
+                )
+            _time.sleep(0.2)
+
+    # ------------------------------------------------------------------
+    # scatter-gather
+    # ------------------------------------------------------------------
+
+    def _half_width(self) -> float:
+        if self.mode == "standard":
+            return self.standard_tolerance
+        # Open and cascade both route on the open window (a superset of
+        # the cascade's standard pass, so routing never misses a row).
+        return self.open_window
+
+    def search_payloads(
+        self,
+        spectra_payloads: Sequence[dict],
+        request_id: Optional[str] = None,
+    ) -> List[Optional[dict]]:
+        """Scatter-gather a batch of spectrum payloads; aligned output.
+
+        Each element of the result is the merged winner PSM payload
+        (``library_position`` in *global* rows) or None; the list
+        aligns with the input order exactly like a worker's
+        ``/search_batch``.
+        """
+        return self._submit(
+            self._search_batch(list(spectra_payloads), request_id)
+        ).result()
+
+    async def _search_batch(
+        self,
+        payloads: List[dict],
+        request_id: Optional[str] = None,
+    ) -> List[Optional[dict]]:
+        half_width = self._half_width()
+        targets: List[List[int]] = []
+        with get_tracer().span("coord.route", request_id=request_id):
+            for payload in payloads:
+                mass = spectrum_from_payload(payload).neutral_mass
+                lo, hi = mass - half_width, mass + half_width
+                routed = [
+                    spec.index
+                    for spec in self.partitions
+                    if spec.intersects(lo, hi)
+                ]
+                targets.append(routed)
+                self.metrics.fanout.observe(len(routed))
+                for spec in self.partitions:
+                    if spec.index not in routed:
+                        self.metrics.skipped.inc(partition=str(spec.index))
+        # One sub-batch per partition, holding only the queries routed
+        # to it; worker replies align with the sub-batch order.
+        sub_batches: Dict[int, List[int]] = {}
+        for query_index, routed in enumerate(targets):
+            for partition_index in routed:
+                sub_batches.setdefault(partition_index, []).append(query_index)
+
+        async def call(partition_index: int, indices: List[int]):
+            spec = self.partitions[partition_index]
+            self.metrics.scatter.inc(
+                len(indices), partition=str(partition_index)
+            )
+            body = {"spectra": [payloads[i] for i in indices]}
+            reply = await self._call_partition(spec, "/search_batch", body)
+            psms = reply.get("psms")
+            if not isinstance(psms, list) or len(psms) != len(indices):
+                raise CoordinatorError(
+                    f"partition p{partition_index} returned "
+                    f"{len(psms) if isinstance(psms, list) else 'no'} PSMs "
+                    f"for {len(indices)} queries"
+                )
+            return partition_index, dict(zip(indices, psms))
+
+        ordered = sorted(sub_batches.items())
+        replies = await asyncio.gather(
+            *(call(partition, indices) for partition, indices in ordered)
+        )
+        by_partition = dict(replies)
+        with get_tracer().span("coord.merge", request_id=request_id):
+            merged: List[Optional[dict]] = []
+            for query_index, routed in enumerate(targets):
+                entries = [
+                    (
+                        by_partition[partition_index][query_index],
+                        self.partitions[partition_index],
+                    )
+                    for partition_index in routed
+                ]
+                merged.append(merge_psm_payloads(entries))
+        return merged
+
+    # ------------------------------------------------------------------
+    # per-partition call with hedging and bounded retry
+    # ------------------------------------------------------------------
+
+    def _replicas_in_order(self, partition_index: int) -> List[WorkerHandle]:
+        group = self._workers[partition_index]
+        start = self._round_robin[partition_index] % len(group)
+        self._round_robin[partition_index] += 1
+        rotated = group[start:] + group[:start]
+        # Stable sort: healthy replicas first, rotation preserved
+        # within each health class.
+        return sorted(rotated, key=lambda handle: not handle.healthy)
+
+    def _hedge_deadline(self, partition_index: int) -> float:
+        samples = self._latencies[partition_index]
+        if len(samples) < MIN_HEDGE_SAMPLES:
+            deadline = DEFAULT_HEDGE_SECONDS
+        else:
+            ranked = sorted(samples)
+            deadline = ranked[int(0.99 * (len(ranked) - 1))]
+        return max(deadline, self.hedge_floor)
+
+    async def _call_worker(
+        self, handle: WorkerHandle, spec: PartitionSpec, path: str, body: dict
+    ) -> dict:
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        status, reply = await handle.client.request_json(
+            "POST", path, body, timeout=self.worker_timeout
+        )
+        elapsed = loop.time() - started
+        samples = self._latencies[spec.index]
+        samples.append(elapsed)
+        if len(samples) > LATENCY_WINDOW:
+            del samples[: len(samples) - LATENCY_WINDOW]
+        self.metrics.worker_latency.observe(elapsed, partition=str(spec.index))
+        return reply
+
+    async def _call_partition(
+        self, spec: PartitionSpec, path: str, body: dict
+    ) -> dict:
+        """Call one partition: healthy-first replicas, hedge, retry.
+
+        The primary replica gets the request first; if it exceeds the
+        partition's p99-derived hedge deadline, the same request is
+        *also* fired at the next replica (first success wins, the
+        loser is cancelled).  A replica that fails outright is retried
+        on the next unfired replica.  Every replica is fired at most
+        once, so the work is bounded even in a full outage.
+        """
+        queue = self._replicas_in_order(spec.index)
+        inflight: Dict["asyncio.Task", WorkerHandle] = {}
+        errors: List[str] = []
+        hedged = False
+
+        def fire() -> "asyncio.Task":
+            handle = queue.pop(0)
+            task = asyncio.ensure_future(
+                self._call_worker(handle, spec, path, body)
+            )
+            task.add_done_callback(_consume_result)
+            inflight[task] = handle
+            return task
+
+        primary = fire()
+        try:
+            while inflight:
+                timeout = (
+                    self._hedge_deadline(spec.index)
+                    if not hedged and queue
+                    else None
+                )
+                done, _ = await asyncio.wait(
+                    set(inflight),
+                    timeout=timeout,
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if not done:
+                    # Hedge deadline expired with the primary still
+                    # running: fire the same request at a sibling.
+                    hedged = True
+                    self.metrics.hedges.inc(partition=str(spec.index))
+                    fire()
+                    continue
+                for task in done:
+                    handle = inflight.pop(task)
+                    error = task.exception()
+                    if error is None:
+                        if hedged and task is not primary:
+                            self.metrics.hedge_wins.inc(
+                                partition=str(spec.index)
+                            )
+                        return task.result()
+                    handle.healthy = False
+                    handle.last_error = str(error)
+                    errors.append(f"{handle.url}: {error}")
+                    self.metrics.worker_errors.inc(worker=handle.url)
+                    if queue and not inflight:
+                        self.metrics.retries.inc(partition=str(spec.index))
+                        fire()
+        finally:
+            for task in inflight:
+                task.cancel()
+        raise CoordinatorError(
+            f"partition p{spec.index}: every replica failed "
+            f"({'; '.join(errors)})"
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """JSON-safe topology/health snapshot for ``/stats``."""
+        return {
+            "mode": self.mode,
+            "standard_tolerance": self.standard_tolerance,
+            "open_window": self.open_window,
+            "partitions": [
+                {
+                    **spec.to_dict(),
+                    "workers": [
+                        {
+                            "url": handle.url,
+                            "healthy": handle.healthy,
+                            "last_error": handle.last_error,
+                        }
+                        for handle in group
+                    ],
+                }
+                for spec, group in zip(self.partitions, self._workers)
+            ],
+        }
+
+    def healthy(self) -> bool:
+        """Whether every partition has at least one healthy worker."""
+        return all(
+            any(handle.healthy for handle in group)
+            for group in self._workers
+        )

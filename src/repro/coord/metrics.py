@@ -1,0 +1,87 @@
+"""Coordinator-side metric schema (fan-out, hedges, retries).
+
+Mirrors :class:`repro.service.metrics.ServiceMetrics` in spirit: one
+instance backs the coordinator's ``/metrics`` endpoint, stdlib-only,
+Prometheus text format via the shared
+:class:`~repro.service.metrics.MetricsRegistry`.  Families use the
+``hdoms_coord_`` prefix so a scraper watching a mixed fleet can tell
+the tier apart from the ``hdoms_service_`` workers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..service.metrics import LATENCY_BUCKETS, MetricsRegistry
+
+#: Buckets for per-query partition fan-out (how many workers were hit).
+FANOUT_BUCKETS: Tuple[float, ...] = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32)
+
+
+class CoordinatorMetrics:
+    """The coordinator's metric families, pre-registered once."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry or MetricsRegistry()
+        self.requests = self.registry.counter(
+            "hdoms_coord_requests_total",
+            "Requests received by the coordinator, by endpoint.",
+            ("endpoint",),
+        )
+        self.rejected = self.registry.counter(
+            "hdoms_coord_rejected_total",
+            "Requests rejected by backpressure admission (HTTP 429).",
+            ("endpoint",),
+        )
+        self.scatter = self.registry.counter(
+            "hdoms_coord_scatter_total",
+            "Sub-queries scattered to workers, by partition.",
+            ("partition",),
+        )
+        self.skipped = self.registry.counter(
+            "hdoms_coord_skipped_total",
+            "Per-query partition skips from precursor-range routing.",
+            ("partition",),
+        )
+        self.retries = self.registry.counter(
+            "hdoms_coord_retries_total",
+            "Failed worker calls retried on a sibling replica.",
+            ("partition",),
+        )
+        self.hedges = self.registry.counter(
+            "hdoms_coord_hedges_total",
+            "Hedged requests fired after the p99-derived deadline.",
+            ("partition",),
+        )
+        self.hedge_wins = self.registry.counter(
+            "hdoms_coord_hedge_wins_total",
+            "Hedged requests that finished before the primary.",
+            ("partition",),
+        )
+        self.worker_errors = self.registry.counter(
+            "hdoms_coord_worker_errors_total",
+            "Worker call failures (transport or HTTP error), by worker.",
+            ("worker",),
+        )
+        self.fanout = self.registry.histogram(
+            "hdoms_coord_fanout_partitions",
+            "Partitions consulted per query after range routing.",
+            (),
+            buckets=FANOUT_BUCKETS,
+        )
+        self.latency = self.registry.histogram(
+            "hdoms_coord_request_latency_seconds",
+            "End-to-end coordinator request latency, by endpoint.",
+            ("endpoint",),
+            buckets=LATENCY_BUCKETS,
+        )
+        self.worker_latency = self.registry.histogram(
+            "hdoms_coord_worker_latency_seconds",
+            "Latency of individual worker calls, by partition.",
+            ("partition",),
+            buckets=LATENCY_BUCKETS,
+        )
+
+    def render(self) -> str:
+        """The full Prometheus text payload for ``/metrics``."""
+        return self.registry.render()

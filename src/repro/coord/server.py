@@ -1,0 +1,568 @@
+"""HTTP front-end of the coordinator tier (``repro coordinate``).
+
+Speaks the same JSON API as :mod:`repro.service.server` — ``/search``,
+``/search_batch``, ``/healthz``, ``/stats``, ``/metrics`` — so a stock
+:class:`~repro.service.client.SearchClient` points at a coordinator
+without knowing it fronts a fleet.  Differences from a worker:
+
+* admission control — at most ``max_inflight`` search requests run at
+  once; excess requests get **429** with a ``Retry-After`` header
+  instead of queueing unboundedly (the coordinator's backlog lives in
+  its clients, where it belongs);
+* ``/healthz`` reflects the *fleet*: 200 only while every partition
+  has at least one healthy worker (and 503 with ``draining: true``
+  once shutdown begins, same as a worker);
+* ``/metrics`` exports the ``hdoms_coord_`` fan-out/hedge/retry
+  families instead of the worker's ``hdoms_service_`` ones.
+
+:func:`serve_coordinate` is the process runner behind the CLI verb; it
+mirrors :func:`repro.service.server.serve` (signal handling, the
+load-bearing ``listening on http://host:port`` line, drain-then-close
+shutdown), and can optionally materialize the partition plan and spawn
+a local worker fleet first.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..obs.logging import ensure_default_logging
+from ..obs.trace import DEFAULT_CAPACITY, get_tracer, new_request_id
+from ..service.protocol import (
+    DEFAULT_ROUTE,
+    ProtocolError,
+    route_from_payload,
+    spectrum_from_payload,
+)
+from ..service.server import ServiceStartupError, _REQUEST_ID_PATTERN
+from ..store.store import SegmentedStore
+from .coordinator import Coordinator, CoordinatorError
+from .fleet import LocalWorkerFleet
+from .partition import PartitionPlan, materialize_partitions
+
+logger = logging.getLogger("repro.coord")
+
+
+class CoordinatorService:
+    """Glue between the HTTP handlers and the :class:`Coordinator`.
+
+    Owns the admission gate: an atomic in-flight counter, checked and
+    bumped under one lock, bounded by ``max_inflight``.  No queue —
+    a full coordinator says 429 immediately and lets the client's own
+    retry policy provide the backpressure.
+    """
+
+    def __init__(self, coordinator: Coordinator, max_inflight: int = 64) -> None:
+        if max_inflight < 0:
+            raise ValueError(f"max_inflight must be >= 0, got {max_inflight}")
+        self.coordinator = coordinator
+        self.metrics = coordinator.metrics
+        self.max_inflight = max_inflight
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._started = time.time()
+
+    def try_admit(self) -> bool:
+        """Reserve one in-flight slot; False when the gate is full."""
+        with self._inflight_lock:
+            if self._inflight >= self.max_inflight:
+                return False
+            self._inflight += 1
+            return True
+
+    def release(self) -> None:
+        """Return one in-flight slot."""
+        with self._inflight_lock:
+            self._inflight -= 1
+
+    @property
+    def inflight(self) -> int:
+        """Search requests currently being scatter-gathered."""
+        with self._inflight_lock:
+            return self._inflight
+
+    def healthz(self) -> Dict[str, object]:
+        """Fleet-level liveness payload (status ok or degraded)."""
+        fleet_healthy = self.coordinator.healthy()
+        return {
+            "status": "ok" if fleet_healthy else "degraded",
+            "role": "coordinator",
+            "route": DEFAULT_ROUTE,
+            "mode": self.coordinator.mode,
+            "num_partitions": len(self.coordinator.partitions),
+            "num_references": sum(
+                spec.num_references for spec in self.coordinator.partitions
+            ),
+            "uptime_seconds": round(time.time() - self._started, 3),
+        }
+
+    def stats(self) -> Dict[str, object]:
+        """Topology, per-worker health, and the admission gate state."""
+        return {
+            "role": "coordinator",
+            "inflight": self.inflight,
+            "max_inflight": self.max_inflight,
+            **self.coordinator.stats(),
+        }
+
+    def close(self) -> None:
+        """Shut the coordinator (probes, clients, loop thread) down."""
+        self.coordinator.close()
+
+
+class CoordinatorServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the coordinator service.
+
+    Mirrors :class:`~repro.service.server.SearchServer`: non-daemon
+    handler threads so ``server_close()`` joins them, and a
+    ``draining`` flag that makes every post-shutdown response close
+    its connection so that join cannot be held up by keep-alive
+    pollers.
+    """
+
+    daemon_threads = False
+    allow_reuse_address = True
+    draining = False
+
+    def __init__(self, address, service: CoordinatorService, quiet: bool = True):
+        super().__init__(address, CoordinatorRequestHandler)
+        self.coordinator_service = service
+        self.quiet = quiet
+
+    def shutdown(self) -> None:
+        """Stop accepting requests and drain keep-alive connections."""
+        self.draining = True
+        super().shutdown()
+
+
+class CoordinatorRequestHandler(BaseHTTPRequestHandler):
+    """Routes the JSON API onto a :class:`CoordinatorService`."""
+
+    server_version = "hdoms-coordinator"
+    protocol_version = "HTTP/1.1"
+    timeout = 10.0
+    max_body_bytes = 64 * 1024 * 1024
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Per-request stderr logging, silenced unless ``quiet=False``."""
+        if not getattr(self.server, "quiet", True):
+            super().log_message(format, *args)
+
+    # -- plumbing (same wire behavior as the worker handler) -----------
+
+    def _send_json(
+        self,
+        status: int,
+        payload: dict,
+        request_id: Optional[str] = None,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        if status >= 400 or getattr(self.server, "draining", False):
+            self.close_connection = True
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if request_id is not None:
+            self.send_header("X-Request-Id", request_id)
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        if status >= 400 or getattr(self.server, "draining", False):
+            self.close_connection = True
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _request_id(self) -> str:
+        supplied = self.headers.get("X-Request-Id")
+        if supplied and _REQUEST_ID_PATTERN.match(supplied):
+            return supplied
+        return new_request_id()
+
+    def _read_json(self) -> object:
+        raw = self.headers.get("Content-Length") or "0"
+        try:
+            length = int(raw)
+        except ValueError:
+            raise ProtocolError(f"bad Content-Length header: {raw!r}") from None
+        if length <= 0:
+            raise ProtocolError("request body required")
+        if length > self.max_body_bytes:
+            raise ProtocolError(
+                f"request body of {length} bytes exceeds the "
+                f"{self.max_body_bytes} byte limit"
+            )
+        try:
+            return json.loads(self.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ProtocolError(f"bad JSON body: {error}") from None
+
+    @property
+    def coordinator_service(self) -> CoordinatorService:
+        """The coordinator service owned by the server."""
+        return self.server.coordinator_service
+
+    def _check_route(self, payload: object) -> None:
+        """Reject routed requests naming anything but the default route.
+
+        The coordinator fronts exactly one logical library; accepting
+        an unknown route name and answering from the fleet anyway
+        would be the wrong-library leak the worker's routing layer
+        exists to prevent.
+        """
+        if isinstance(payload, dict):
+            route = route_from_payload(payload)
+            if route is not None and route != DEFAULT_ROUTE:
+                raise ProtocolError(
+                    f"coordinator serves only the {DEFAULT_ROUTE!r} route, "
+                    f"got {route!r}"
+                )
+
+    # -- routes --------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        """Read-only endpoints: /healthz, /stats, /metrics."""
+        service = self.coordinator_service
+        try:
+            if self.path == "/healthz":
+                service.metrics.requests.inc(endpoint="healthz")
+                if getattr(self.server, "draining", False):
+                    self._send_json(
+                        503, {"status": "draining", "draining": True}
+                    )
+                    return
+                payload = service.healthz()
+                payload["draining"] = False
+                status = 200 if payload["status"] == "ok" else 503
+                self._send_json(status, payload)
+            elif self.path == "/stats":
+                service.metrics.requests.inc(endpoint="stats")
+                self._send_json(200, service.stats())
+            elif self.path == "/metrics":
+                service.metrics.requests.inc(endpoint="metrics")
+                self._send_text(
+                    200,
+                    service.metrics.render(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            else:
+                self._send_json(404, {"error": f"unknown path {self.path!r}"})
+        except Exception as error:  # noqa: BLE001 - boundary
+            self._send_json(500, {"error": str(error)})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        """The scatter-gather endpoints: /search and /search_batch."""
+        try:
+            if self.path == "/search":
+                self._handle_search()
+            elif self.path == "/search_batch":
+                self._handle_search_batch()
+            else:
+                self._send_json(404, {"error": f"unknown path {self.path!r}"})
+        except ProtocolError as error:
+            self._send_json(400, {"error": str(error)})
+        except CoordinatorError as error:
+            # The fleet could not answer (every replica of some
+            # partition failed): unavailable, not a client error.
+            self._send_json(503, {"error": str(error)})
+        except Exception as error:  # noqa: BLE001 - boundary
+            self._send_json(500, {"error": str(error)})
+
+    def _admit(self, endpoint: str) -> bool:
+        service = self.coordinator_service
+        service.metrics.requests.inc(endpoint=endpoint)
+        if not service.try_admit():
+            service.metrics.rejected.inc(endpoint=endpoint)
+            self._send_json(
+                429,
+                {
+                    "error": (
+                        f"coordinator at capacity "
+                        f"({service.max_inflight} in-flight requests)"
+                    )
+                },
+                extra_headers={"Retry-After": "1"},
+            )
+            return False
+        return True
+
+    def _handle_search(self) -> None:
+        payload = self._read_json()
+        self._check_route(payload)
+        if isinstance(payload, dict) and "spectrum" in payload:
+            payload = payload["spectrum"]
+        spectrum_from_payload(payload)  # validate before admission
+        if not self._admit("search"):
+            return
+        service = self.coordinator_service
+        request_id = self._request_id()
+        started = time.perf_counter()
+        try:
+            with get_tracer().span(
+                "coord.request", request_id=request_id, route=DEFAULT_ROUTE
+            ):
+                merged = service.coordinator.search_payloads(
+                    [payload], request_id=request_id
+                )
+        finally:
+            service.release()
+        elapsed = time.perf_counter() - started
+        service.metrics.latency.observe(elapsed, endpoint="search")
+        self._send_json(
+            200,
+            {
+                "psm": merged[0],
+                "cached": False,
+                "route": DEFAULT_ROUTE,
+                "request_id": request_id,
+                "elapsed_ms": round(1000.0 * elapsed, 3),
+            },
+            request_id=request_id,
+        )
+
+    def _handle_search_batch(self) -> None:
+        payload = self._read_json()
+        if not isinstance(payload, dict) or "spectra" not in payload:
+            raise ProtocolError('body must be {"spectra": [...]}')
+        self._check_route(payload)
+        spectra_payload = payload["spectra"]
+        if not isinstance(spectra_payload, list):
+            raise ProtocolError('"spectra" must be a list')
+        for entry in spectra_payload:
+            spectrum_from_payload(entry)  # validate before admission
+        if not self._admit("search_batch"):
+            return
+        service = self.coordinator_service
+        request_id = self._request_id()
+        started = time.perf_counter()
+        try:
+            with get_tracer().span(
+                "coord.request", request_id=request_id, route=DEFAULT_ROUTE
+            ):
+                merged = service.coordinator.search_payloads(
+                    spectra_payload, request_id=request_id
+                )
+        finally:
+            service.release()
+        elapsed = time.perf_counter() - started
+        service.metrics.latency.observe(elapsed, endpoint="search_batch")
+        self._send_json(
+            200,
+            {
+                "psms": merged,
+                "route": DEFAULT_ROUTE,
+                "request_id": request_id,
+                "elapsed_ms": round(1000.0 * elapsed, 3),
+            },
+            request_id=request_id,
+        )
+
+
+def start_coordinator_server(
+    service: CoordinatorService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> CoordinatorServer:
+    """Bind a :class:`CoordinatorServer` (port 0 = ephemeral)."""
+    return CoordinatorServer((host, port), service)
+
+
+def assign_replicas(
+    worker_urls: Sequence[str], num_partitions: int
+) -> List[List[str]]:
+    """Deal worker URLs round-robin into per-partition replica groups.
+
+    URL ``i`` serves partition ``i % num_partitions``, so with 2
+    partitions and 4 workers, partition 0 gets workers 0 and 2 —
+    replicas only appear once every partition has a primary.
+
+    Raises:
+        ValueError: With fewer URLs than partitions.
+    """
+    if len(worker_urls) < num_partitions:
+        raise ValueError(
+            f"{num_partitions} partitions need at least that many workers, "
+            f"got {len(worker_urls)}"
+        )
+    groups: List[List[str]] = [[] for _ in range(num_partitions)]
+    for position, url in enumerate(worker_urls):
+        groups[position % num_partitions].append(url)
+    return groups
+
+
+def serve_coordinate(
+    store_path: Union[str, Path],
+    num_partitions: int,
+    strategy: str = "rows",
+    worker_urls: Optional[Sequence[str]] = None,
+    spawn_workers: bool = False,
+    host: str = "127.0.0.1",
+    port: int = 8347,
+    mode: str = "open",
+    open_window: float = 500.0,
+    standard_tolerance: float = 0.05,
+    worker_threads: int = 0,
+    max_inflight: int = 64,
+    worker_timeout: float = 60.0,
+    probe_interval: float = 2.0,
+    hedge_floor_ms: float = 20.0,
+    startup_timeout: float = 60.0,
+    quiet: bool = False,
+    drain_timeout: float = 30.0,
+    trace: bool = True,
+    trace_capacity: int = DEFAULT_CAPACITY,
+) -> int:
+    """Run the coordinator until SIGINT/SIGTERM; drains before exiting.
+
+    This is the ``repro coordinate`` entry point.  The store at
+    ``store_path`` provides the partition plan; workers come from one
+    of two places:
+
+    * ``spawn_workers=True`` — materialize the plan's partition
+      manifests next to the store and spawn one local ``repro serve``
+      per partition (the one-command demo topology);
+    * ``worker_urls`` — pre-started worker URLs dealt round-robin into
+      per-partition replica groups (see :func:`assign_replicas`); each
+      worker must already be serving its partition's store.
+
+    Shutdown closes the HTTP front first (new connections refused,
+    in-flight responses finish), then the coordinator (probes and
+    pooled worker connections), then any spawned fleet.
+    """
+    ensure_default_logging()
+    tracer = get_tracer()
+    tracer_was_enabled = tracer.enabled
+    if trace:
+        tracer.enable(trace_capacity)
+
+    def _restore_tracer() -> None:
+        if trace and not tracer_was_enabled:
+            tracer.disable()
+
+    fleet: Optional[LocalWorkerFleet] = None
+    coordinator: Optional[Coordinator] = None
+    try:
+        try:
+            store = SegmentedStore.open(store_path)
+            plan = PartitionPlan.build(store, num_partitions, strategy)
+            if spawn_workers:
+                if worker_urls:
+                    raise ValueError(
+                        "--spawn-workers and --worker are mutually exclusive"
+                    )
+                paths = materialize_partitions(store, plan)
+                logger.info(
+                    "materialized %d partition manifests under %s",
+                    len(paths),
+                    paths[0].parent,
+                )
+                fleet = LocalWorkerFleet(
+                    [paths[spec.index] for spec in plan.partitions],
+                    host=host,
+                    mode=mode,
+                    open_window=open_window,
+                    workers=worker_threads,
+                    startup_timeout=startup_timeout,
+                )
+                groups = [[url] for url in fleet.wait_ready()]
+            else:
+                if not worker_urls:
+                    raise ValueError(
+                        "pass --worker URL per partition or --spawn-workers"
+                    )
+                groups = assign_replicas(list(worker_urls), len(plan))
+            coordinator = Coordinator(
+                plan.partitions,
+                groups,
+                mode=mode,
+                standard_tolerance=standard_tolerance,
+                open_window=open_window,
+                worker_timeout=worker_timeout,
+                probe_interval=probe_interval,
+                hedge_floor_ms=hedge_floor_ms,
+            )
+            coordinator.wait_ready(timeout=startup_timeout)
+            service = CoordinatorService(coordinator, max_inflight=max_inflight)
+            server = start_coordinator_server(service, host, port)
+        except (ValueError, OSError, CoordinatorError) as error:
+            if coordinator is not None:
+                coordinator.close()
+            if fleet is not None:
+                fleet.close()
+            _restore_tracer()
+            raise ServiceStartupError(str(error)) from error
+        server.quiet = quiet
+
+        def _shutdown(signum, frame) -> None:
+            # shutdown() must not run on the serve_forever thread.
+            threading.Thread(target=server.shutdown, daemon=True).start()
+
+        installed = []
+        for signame in ("SIGINT", "SIGTERM"):
+            signum = getattr(signal, signame, None)
+            if signum is None:
+                continue
+            try:
+                installed.append((signum, signal.signal(signum, _shutdown)))
+            except ValueError:  # not the main thread
+                pass
+        bound_host, bound_port = server.server_address[:2]
+        for spec, group in zip(plan.partitions, coordinator._workers):
+            logger.info(
+                "partition p%d: %d references, mass [%.2f, %.2f], workers %s",
+                spec.index,
+                spec.num_references,
+                spec.mass_min,
+                spec.mass_max,
+                ", ".join(handle.url for handle in group),
+            )
+        # Same load-bearing phrasing as the worker runner: supervisors
+        # and the fault-injection tests parse the bound port from it.
+        logger.info(
+            "listening on http://%s:%s (coordinator: partitions=%s, "
+            "strategy=%s, mode=%s, max_inflight=%s)",
+            bound_host,
+            bound_port,
+            len(plan),
+            plan.strategy,
+            mode,
+            max_inflight,
+        )
+        try:
+            server.serve_forever()
+        finally:
+            watchdog = threading.Timer(drain_timeout, service.close)
+            watchdog.daemon = True
+            watchdog.start()
+            try:
+                server.server_close()
+            finally:
+                watchdog.cancel()
+                service.close()
+            if fleet is not None:
+                fleet.close()
+            for signum, previous in installed:
+                signal.signal(signum, previous)
+            _restore_tracer()
+            logger.info("coordinator drained and closed")
+        return 0
+    except ServiceStartupError:
+        raise

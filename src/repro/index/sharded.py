@@ -466,6 +466,8 @@ class ShardedSearcher(MicroBatchSearchMixin):
                     precursor_mass_difference=query.neutral_mass
                     - reference.neutral_mass,
                     mode=mode,
+                    reference_mass=float(reference.neutral_mass),
+                    library_position=int(positions[shard, column]),
                 )
             )
         return results

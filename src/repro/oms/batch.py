@@ -335,6 +335,8 @@ class BatchedHDOmsSearcher:
                             precursor_mass_difference=query.neutral_mass
                             - reference.neutral_mass,
                             mode=self.mode,
+                            reference_mass=float(reference.neutral_mass),
+                            library_position=position,
                         ),
                     )
                 )
@@ -410,4 +412,6 @@ class BatchedHDOmsSearcher:
             precursor_mass_difference=query.neutral_mass
             - reference.neutral_mass,
             mode=self.mode,
+            reference_mass=float(reference.neutral_mass),
+            library_position=position,
         )

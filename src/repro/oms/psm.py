@@ -16,6 +16,17 @@ class PSM:
     neutral-mass delta in Dalton — near zero for unmodified matches, the
     PTM mass for modified ones.  ``q_value`` is filled in by the FDR
     filter.
+
+    ``reference_mass`` and ``library_position`` are *merge fields*: the
+    winner's exact reference neutral mass and its library row number.
+    Every engine applies the same winner rule — max score, ties to
+    lowest reference mass, then lowest library position — and these two
+    fields carry the rule's tie-break keys across process boundaries,
+    so a scatter-gather coordinator can merge per-worker winners
+    bit-identically to a single-node search (recovering the reference
+    mass as ``query_mass - precursor_mass_difference`` is *not* exact
+    in IEEE754).  They are excluded from equality (``compare=False``)
+    and default to ``None`` for PSMs built outside the engines.
     """
 
     query_id: str
@@ -26,6 +37,8 @@ class PSM:
     precursor_mass_difference: float
     mode: str = "open"  # "standard" or "open"
     q_value: Optional[float] = None
+    reference_mass: Optional[float] = field(default=None, compare=False)
+    library_position: Optional[int] = field(default=None, compare=False)
 
     @property
     def is_modified_match(self) -> bool:
@@ -43,6 +56,16 @@ class PSM:
             "precursor_mass_difference": float(self.precursor_mass_difference),
             "mode": self.mode,
             "q_value": float(self.q_value) if self.q_value is not None else None,
+            "reference_mass": (
+                float(self.reference_mass)
+                if self.reference_mass is not None
+                else None
+            ),
+            "library_position": (
+                int(self.library_position)
+                if self.library_position is not None
+                else None
+            ),
         }
 
     @classmethod
@@ -50,6 +73,8 @@ class PSM:
         """Rebuild a PSM from :meth:`to_dict` output (round-trip exact)."""
         try:
             q_value = payload.get("q_value")
+            reference_mass = payload.get("reference_mass")
+            library_position = payload.get("library_position")
             return cls(
                 query_id=str(payload["query_id"]),
                 reference_id=str(payload["reference_id"]),
@@ -65,6 +90,12 @@ class PSM:
                 ),
                 mode=str(payload.get("mode", "open")),
                 q_value=float(q_value) if q_value is not None else None,
+                reference_mass=(
+                    float(reference_mass) if reference_mass is not None else None
+                ),
+                library_position=(
+                    int(library_position) if library_position is not None else None
+                ),
             )
         except KeyError as missing:
             raise ValueError(f"PSM payload is missing {missing}") from None

@@ -440,6 +440,8 @@ class HDOmsSearcher:
             is_decoy=reference.is_decoy,
             precursor_mass_difference=query.neutral_mass - reference.neutral_mass,
             mode=mode,
+            reference_mass=float(reference.neutral_mass),
+            library_position=int(positions[best]),
         )
 
     def _search_encoded(

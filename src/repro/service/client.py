@@ -1,10 +1,11 @@
 """Thin stdlib HTTP client for the search service.
 
 :class:`SearchClient` speaks the JSON protocol of
-:mod:`repro.service.server` using nothing but ``urllib``, and converts
-wire payloads back into first-class :class:`~repro.oms.psm.PSM`
-objects, so callers interact with the remote service exactly like with
-a local :class:`~repro.oms.search.HDOmsSearcher`::
+:mod:`repro.service.server` using nothing but ``http.client``, and
+converts wire payloads back into first-class
+:class:`~repro.oms.psm.PSM` objects, so callers interact with the
+remote service exactly like with a local
+:class:`~repro.oms.search.HDOmsSearcher`::
 
     client = SearchClient("http://127.0.0.1:8337")
     psm = client.search(spectrum)           # Optional[PSM]
@@ -16,13 +17,22 @@ libraries per call or bind a default for the whole client::
     yeast = SearchClient("http://127.0.0.1:8337", route="yeast")
     psm = yeast.search(spectrum)                  # always the yeast route
     psm = client.search(spectrum, route="human")  # per-call override
+
+The server speaks HTTP/1.1 keep-alive, so the client pools one
+persistent connection per calling thread instead of paying a TCP
+handshake per request.  A pooled socket can go stale between calls
+(the server's idle timeout, a restart, a drain); the first send on a
+stale socket fails before the server ever sees the request, so the
+client transparently retries exactly once on a fresh connection.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
-import urllib.error
-import urllib.request
+import socket
+import threading
+import urllib.parse
 from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
@@ -60,6 +70,19 @@ class SearchClient:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.route = route
+        parts = urllib.parse.urlsplit(self.base_url)
+        if parts.scheme not in ("http", "https") or not parts.hostname:
+            raise ValueError(f"unsupported service URL {base_url!r}")
+        self._scheme = parts.scheme
+        self._host = parts.hostname
+        self._port = parts.port or (443 if parts.scheme == "https" else 80)
+        # One pooled keep-alive connection per calling thread
+        # (http.client connections are not thread-safe); every
+        # connection ever opened is also tracked under a lock so
+        # close() can shut them all down from any thread.
+        self._local = threading.local()
+        self._pool_lock = threading.Lock()
+        self._connections: List[http.client.HTTPConnection] = []
 
     def for_route(self, route: Optional[str]) -> "SearchClient":
         """A sibling client bound to ``route`` (same URL and timeout)."""
@@ -68,6 +91,49 @@ class SearchClient:
     # ------------------------------------------------------------------
     # transport
     # ------------------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            factory = (
+                http.client.HTTPSConnection
+                if self._scheme == "https"
+                else http.client.HTTPConnection
+            )
+            connection = factory(self._host, self._port, timeout=self.timeout)
+            self._local.connection = connection
+            with self._pool_lock:
+                self._connections.append(connection)
+        return connection
+
+    def _discard(self, connection: http.client.HTTPConnection) -> None:
+        """Drop a (possibly stale) pooled connection."""
+        try:
+            connection.close()
+        except Exception:  # noqa: BLE001 - best-effort socket teardown
+            pass
+        if getattr(self._local, "connection", None) is connection:
+            self._local.connection = None
+        with self._pool_lock:
+            if connection in self._connections:
+                self._connections.remove(connection)
+
+    def close(self) -> None:
+        """Close every pooled connection (the client stays usable)."""
+        with self._pool_lock:
+            connections, self._connections = self._connections, []
+        for connection in connections:
+            try:
+                connection.close()
+            except Exception:  # noqa: BLE001 - best-effort socket teardown
+                pass
+        self._local.connection = None
+
+    def __enter__(self) -> "SearchClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _request(
         self,
@@ -82,28 +148,57 @@ class SearchClient:
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(
-            self.base_url + path, data=body, headers=headers, method=method
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                text = response.read().decode("utf-8")
-                return json.loads(text) if parse_json else text
-        except urllib.error.HTTPError as error:
-            detail = ""
+        # A stale keep-alive socket fails on the *first* reused request
+        # after the server closed its end; the request never reached a
+        # handler, so exactly one transparent retry on a fresh
+        # connection is safe for every method.
+        for attempt in (0, 1):
+            connection = self._connection()
+            fresh = connection.sock is None
             try:
-                detail = json.loads(error.read().decode("utf-8")).get("error", "")
-            except Exception:  # noqa: BLE001 - best-effort error body
-                pass
-            raise ServiceError(
-                f"{method} {path} failed with HTTP {error.code}"
-                + (f": {detail}" if detail else ""),
-                status=error.code,
-            ) from None
-        except urllib.error.URLError as error:
-            raise ServiceError(
-                f"cannot reach {self.base_url}: {error.reason}"
-            ) from None
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                data = response.read()
+            except (
+                http.client.RemoteDisconnected,
+                http.client.BadStatusLine,
+                ConnectionResetError,
+                BrokenPipeError,
+            ) as error:
+                self._discard(connection)
+                if attempt == 0 and not fresh:
+                    continue
+                raise ServiceError(
+                    f"cannot reach {self.base_url}: {error}"
+                ) from None
+            except (socket.timeout, TimeoutError) as error:
+                self._discard(connection)
+                raise ServiceError(
+                    f"{method} {path} timed out after {self.timeout}s: {error}"
+                ) from None
+            except (http.client.HTTPException, OSError) as error:
+                self._discard(connection)
+                raise ServiceError(
+                    f"cannot reach {self.base_url}: {error}"
+                ) from None
+            if response.will_close:
+                # The server asked to close (error path or drain);
+                # honour it so the next request opens a fresh socket.
+                self._discard(connection)
+            if response.status >= 400:
+                detail = ""
+                try:
+                    detail = json.loads(data.decode("utf-8")).get("error", "")
+                except Exception:  # noqa: BLE001 - best-effort error body
+                    pass
+                raise ServiceError(
+                    f"{method} {path} failed with HTTP {response.status}"
+                    + (f": {detail}" if detail else ""),
+                    status=response.status,
+                )
+            text = data.decode("utf-8")
+            return json.loads(text) if parse_json else text
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def _resolve_route(self, route: Optional[str]) -> Optional[str]:
         return route if route is not None else self.route

@@ -1105,7 +1105,18 @@ class SearchRequestHandler(BaseHTTPRequestHandler):
         try:
             parsed = urlsplit(self.path)
             if parsed.path == "/healthz":
-                self._send_json(200, self.registry.healthz())
+                if getattr(self.server, "draining", False):
+                    # A draining server still answers in-flight work but
+                    # must fail its readiness probe immediately, so load
+                    # balancers and the coordinator's routing table stop
+                    # sending new traffic before the socket goes away.
+                    self._send_json(
+                        503, {"status": "draining", "draining": True}
+                    )
+                else:
+                    payload = self.registry.healthz()
+                    payload["draining"] = False
+                    self._send_json(200, payload)
             elif parsed.path == "/stats":
                 self._send_json(200, self.registry.stats())
             elif parsed.path == "/metrics":

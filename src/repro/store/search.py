@@ -25,6 +25,7 @@ from __future__ import annotations
 import dataclasses
 import logging
 import os
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
@@ -130,13 +131,37 @@ class SegmentedSearcher(MicroBatchSearchMixin):
         self._records: Dict[int, List[ReferenceRecord]] = {}
         self._pool: Optional[ThreadPoolExecutor] = None
         self.ann_stats = AnnStats() if config.ann is not None else None
+        # Concurrent searches share this searcher (the coordinator's
+        # workers, storm tests): _open_lock serializes segment
+        # materialization (a double-open would leak a shared-memory
+        # arena), _stats_lock guards the plain-int counters that
+        # scoring threads bump.
+        self._open_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._segments_opened_count = 0
+        self._segment_batches: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # lazy segment plumbing
     # ------------------------------------------------------------------
 
     def _scorer(self, segment_id: int) -> ShardScorer:
-        """Open one segment on first use: arena + offset scorer + records."""
+        """Open one segment on first use: arena + offset scorer + records.
+
+        Thread-safe: concurrent searches race to materialize the same
+        segment, and an unsynchronized double-open would build two
+        arenas and leak one (shared memory is unlinked by name).  The
+        fast path stays lock-free — dict reads are atomic and entries
+        are only ever added, never replaced.
+        """
+        scorer = self._scorers.get(segment_id)
+        if scorer is not None:
+            return scorer
+        with self._open_lock:
+            return self._open_segment(segment_id)
+
+    def _open_segment(self, segment_id: int) -> ShardScorer:
+        """Materialize one segment; caller holds ``_open_lock``."""
         scorer = self._scorers.get(segment_id)
         if scorer is not None:
             return scorer
@@ -177,6 +202,8 @@ class SegmentedSearcher(MicroBatchSearchMixin):
         self._arenas[segment_id] = arena
         self._records[segment_id] = segment.records()
         self._scorers[segment_id] = scorer
+        with self._stats_lock:
+            self._segments_opened_count += 1
         return scorer
 
     def _reference(self, global_position: int) -> ReferenceRecord:
@@ -194,9 +221,10 @@ class SegmentedSearcher(MicroBatchSearchMixin):
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
-        self._scorers.clear()
-        self._records.clear()
-        arenas, self._arenas = self._arenas, {}
+        with self._open_lock:
+            self._scorers.clear()
+            self._records.clear()
+            arenas, self._arenas = self._arenas, {}
         for arena in arenas.values():
             arena.close()
         if self._owns_store:
@@ -245,7 +273,14 @@ class SegmentedSearcher(MicroBatchSearchMixin):
     @property
     def segments_opened(self) -> int:
         """How many segments this searcher has materialized so far."""
-        return len(self._scorers)
+        with self._stats_lock:
+            return self._segments_opened_count
+
+    @property
+    def segment_batches(self) -> Dict[int, int]:
+        """Per-segment count of scored batches (a stats snapshot)."""
+        with self._stats_lock:
+            return dict(self._segment_batches)
 
     # ------------------------------------------------------------------
     # scoring
@@ -259,15 +294,22 @@ class SegmentedSearcher(MicroBatchSearchMixin):
         query_charges: np.ndarray,
         half_width: float,
     ) -> List[Tuple[np.ndarray, ...]]:
-        # Open in the caller thread (SharedShardArena creation and the
-        # store cache are not thread-safe); score concurrently.
+        # Open in the caller thread under _open_lock (arena creation
+        # must never race); score concurrently.
         scorers = [self._scorer(segment_id) for segment_id in relevant]
 
-        def score(scorer: ShardScorer) -> Tuple[float, Tuple]:
+        def score(task: Tuple[int, ShardScorer]) -> Tuple[float, Tuple]:
+            segment_id, scorer = task
             started = time.perf_counter()
             scored = scorer.score_batch(
                 query_hvs, query_masses, query_charges, half_width
             )
+            # Scoring threads all bump the per-segment stats; a plain
+            # ``dict[k] = dict.get(k) + 1`` would lose increments.
+            with self._stats_lock:
+                self._segment_batches[segment_id] = (
+                    self._segment_batches.get(segment_id, 0) + 1
+                )
             return time.perf_counter() - started, scored
 
         tracer = get_tracer()
@@ -279,15 +321,20 @@ class SegmentedSearcher(MicroBatchSearchMixin):
             executor=self.executor_kind,
             queries=len(query_masses),
         ):
+            tasks = list(zip(relevant, scorers))
             if self._num_workers == 0 or len(scorers) <= 1:
-                timed = [score(scorer) for scorer in scorers]
+                timed = [score(task) for task in tasks]
             else:
-                if self._pool is None:
-                    self._pool = ThreadPoolExecutor(
-                        max_workers=self._num_workers,
-                        thread_name_prefix="segment-score",
-                    )
-                timed = list(self._pool.map(score, scorers))
+                pool = self._pool
+                if pool is None:
+                    with self._open_lock:
+                        if self._pool is None:
+                            self._pool = ThreadPoolExecutor(
+                                max_workers=self._num_workers,
+                                thread_name_prefix="segment-score",
+                            )
+                        pool = self._pool
+                timed = list(pool.map(score, tasks))
             if tracer.enabled:
                 for segment_id, (wall, _scored) in zip(relevant, timed):
                     tracer.emit(
@@ -357,6 +404,8 @@ class SegmentedSearcher(MicroBatchSearchMixin):
                     precursor_mass_difference=query.neutral_mass
                     - reference.neutral_mass,
                     mode=mode,
+                    reference_mass=float(reference.neutral_mass),
+                    library_position=int(positions[row, column]),
                 )
             )
         return results

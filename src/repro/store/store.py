@@ -12,6 +12,7 @@ laziness assertable in tests.
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
 from typing import Iterator, List, Optional, Union
 
@@ -45,6 +46,9 @@ class SegmentedStore:
         self.manifest = manifest
         self._segments: dict[int, LibraryIndex] = {}
         self._open_counts = [0] * len(manifest.segments)
+        # Searchers may share one store across scoring threads; the
+        # lock keeps the segment cache and its open counters exact.
+        self._segment_lock = threading.Lock()
 
     @classmethod
     def open(cls, path: Union[str, Path]) -> "SegmentedStore":
@@ -73,11 +77,15 @@ class SegmentedStore:
         open, not on cache hits — it measures laziness, not traffic.
         """
         index = self._segments.get(segment_id)
-        if index is None:
-            meta = self.manifest.segments[segment_id]
-            index = LibraryIndex.load(self.root / meta.file, mmap=mmap)
-            self._segments[segment_id] = index
-            self._open_counts[segment_id] += 1
+        if index is not None:
+            return index
+        with self._segment_lock:
+            index = self._segments.get(segment_id)
+            if index is None:
+                meta = self.manifest.segments[segment_id]
+                index = LibraryIndex.load(self.root / meta.file, mmap=mmap)
+                self._segments[segment_id] = index
+                self._open_counts[segment_id] += 1
         return index
 
     def segments_for_range(self, lo: float, hi: float) -> List[int]:

@@ -107,6 +107,42 @@ STORE_KEYS = {
 }
 
 
+#: Keys the coordinator scale-out trajectory pins.
+COORD_KEYS = {
+    "bench",
+    "timestamp",
+    "scale",
+    "num_references",
+    "num_queries",
+    "seconds_one_worker",
+    "seconds_two_workers",
+    "speedup",
+    "queries_per_second",
+    "cpu_count",
+}
+
+
+def test_coord_trajectory_pins_the_scale_out_gate():
+    path = RESULTS_DIR / "BENCH_coord.json"
+    if not path.exists():
+        return  # not produced on this machine yet; schema trivially holds
+    for entry in _entries(path):
+        assert entry["bench"] == "coordinator-scale-out"
+        missing = COORD_KEYS - entry.keys()
+        assert not missing, f"entry missing {sorted(missing)}"
+        assert entry["num_references"] >= 100
+        assert entry["num_queries"] >= 16
+        assert entry["seconds_one_worker"] > 0
+        assert entry["seconds_two_workers"] > 0
+        assert entry["speedup"] > 0
+        assert entry["cpu_count"] >= 1
+        # Every recorded full-scale run must have passed its gate
+        # (1.8x with >= 2 cores, bounded coordination tax on 1).
+        if entry["scale"] >= 1.0:
+            floor = 1.8 if entry["cpu_count"] >= 2 else 0.5
+            assert entry["speedup"] >= floor
+
+
 def test_store_trajectory_pins_the_rss_gate():
     path = RESULTS_DIR / "BENCH_store.json"
     if not path.exists():

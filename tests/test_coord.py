@@ -1,0 +1,931 @@
+"""Tests for the scale-out coordinator tier (repro.coord).
+
+The load-bearing invariant: every engine resolves ties with the same
+rule — max score, then lowest reference neutral mass, then lowest
+global library row — and each partition lists its segments in
+ascending manifest order, so a worker's local row order is the global
+order restricted to its subset.  Merging per-partition winners with
+that rule (via the PSM merge fields on the wire) must therefore be
+**bit-identical** to a single-node search, for every partition count
+and strategy.  Everything else here — the async client pool, hedging,
+admission control, the HTTP front-end — is robustness plumbing around
+that invariant.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import socketserver
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coord import (
+    AsyncClientError,
+    AsyncSearchClient,
+    Coordinator,
+    CoordinatorError,
+    CoordinatorServer,
+    CoordinatorService,
+    PartitionPlan,
+    PartitionSpec,
+    assign_replicas,
+    materialize_partitions,
+    merge_psm_payloads,
+    start_coordinator_server,
+)
+from repro.coord.partition import _contiguous_groups
+from repro.hdc.spaces import HDSpaceConfig
+from repro.service import (
+    SearchClient,
+    SearchService,
+    ServiceConfig,
+    ServiceError,
+    start_server,
+)
+from repro.service.protocol import spectrum_to_payload
+from repro.store import SegmentedSearcher, SegmentedStore, build_store
+
+
+@pytest.fixture(scope="module")
+def space_config(binning):
+    return HDSpaceConfig(dim=256, num_bins=binning.num_bins, seed=17)
+
+
+@pytest.fixture(scope="module")
+def references(small_workload):
+    return small_workload.references
+
+
+@pytest.fixture(scope="module")
+def queries(small_workload):
+    return small_workload.queries
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory, references, space_config, binning):
+    store = build_store(
+        references,
+        tmp_path_factory.mktemp("coord") / "store",
+        space_config=space_config,
+        binning=binning,
+        segment_rows=13,
+    )
+    yield store
+    store.close()
+
+
+@pytest.fixture(scope="module")
+def baseline(store, queries):
+    """Single-node truth: query id -> winner payload (global rows)."""
+    with SegmentedSearcher(store) as searcher:
+        result = searcher.search(queries)
+    return {psm.query_id: psm.to_dict() for psm in result.psms}
+
+
+# ----------------------------------------------------------------------
+# partition plans
+# ----------------------------------------------------------------------
+
+
+class TestContiguousGroups:
+    def test_balances_by_count(self):
+        groups = _contiguous_groups([10, 10, 10, 10], 2)
+        assert groups == [[0, 1], [2, 3]]
+
+    def test_groups_stay_nonempty_under_forced_cuts(self):
+        # One huge head segment would swallow every ideal boundary;
+        # the tail groups must still each get a segment.
+        groups = _contiguous_groups([100, 1, 1, 1], 4)
+        assert groups == [[0], [1], [2], [3]]
+
+    def test_one_group_takes_everything(self):
+        assert _contiguous_groups([3, 5, 2], 1) == [[0, 1, 2]]
+
+    def test_groups_partition_all_positions(self):
+        counts = [7, 1, 9, 4, 2, 8]
+        for parts in range(1, len(counts) + 1):
+            groups = _contiguous_groups(counts, parts)
+            assert len(groups) == parts
+            assert all(group for group in groups)
+            flattened = [position for group in groups for position in group]
+            assert flattened == list(range(len(counts)))
+
+
+class TestPartitionPlan:
+    def test_rows_plan_covers_store(self, store):
+        plan = PartitionPlan.build(store, 2, "rows")
+        assert len(plan) == 2
+        assert plan.num_references == store.num_references
+        all_segments = sorted(
+            segment_id
+            for spec in plan.partitions
+            for segment_id in spec.segment_ids
+        )
+        assert all_segments == list(range(store.num_segments))
+        assert (
+            sum(spec.num_references for spec in plan.partitions)
+            == store.num_references
+        )
+
+    def test_partition_count_clamped_to_segments(self, store):
+        plan = PartitionPlan.build(store, store.num_segments + 10, "rows")
+        assert len(plan) == store.num_segments
+        assert all(len(spec.segment_ids) == 1 for spec in plan.partitions)
+
+    def test_segment_ids_ascending_in_every_partition(self, store):
+        # The bit-identity invariant: local row order == global order
+        # restricted to the subset requires ascending manifest order.
+        for strategy in ("rows", "mass"):
+            plan = PartitionPlan.build(store, 3, strategy)
+            for spec in plan.partitions:
+                assert list(spec.segment_ids) == sorted(spec.segment_ids)
+
+    def test_to_global_maps_every_row(self, store):
+        plan = PartitionPlan.build(store, 3, "mass")
+        offsets = store.offsets
+        counts = [meta.num_references for meta in store.segment_metas]
+        seen = set()
+        for spec in plan.partitions:
+            for local in range(spec.num_references):
+                seen.add(spec.to_global(local))
+        assert seen == set(range(store.num_references))
+        # Spot-check the arithmetic against the manifest directly.
+        spec = plan.partitions[0]
+        first_segment = spec.segment_ids[0]
+        assert spec.to_global(0) == int(offsets[first_segment])
+        last_segment = spec.segment_ids[-1]
+        assert spec.to_global(spec.num_references - 1) == int(
+            offsets[last_segment]
+        ) + counts[last_segment] - 1
+
+    def test_to_global_rejects_out_of_range(self, store):
+        spec = PartitionPlan.build(store, 2, "rows").partitions[0]
+        with pytest.raises(ValueError, match="outside partition"):
+            spec.to_global(spec.num_references)
+        with pytest.raises(ValueError, match="outside partition"):
+            spec.to_global(-1)
+
+    def test_mass_strategy_orders_hulls(self, store):
+        plan = PartitionPlan.build(store, 3, "mass")
+        mins = [spec.mass_min for spec in plan.partitions]
+        assert mins == sorted(mins)
+
+    def test_range_routing_is_a_superset_of_segment_pruning(self, store):
+        plan = PartitionPlan.build(store, 3, "mass")
+        for lo, hi in ((0.0, 1e6), (900.0, 1100.0), (1e9, 2e9)):
+            routed = set(plan.partitions_for_range(lo, hi))
+            for segment_id in store.segments_for_range(lo, hi):
+                owners = [
+                    spec.index
+                    for spec in plan.partitions
+                    if segment_id in spec.segment_ids
+                ]
+                assert set(owners) <= routed
+
+    def test_invalid_inputs_rejected(self, store):
+        with pytest.raises(ValueError, match="unknown partition strategy"):
+            PartitionPlan.build(store, 2, "zodiac")
+        with pytest.raises(ValueError, match="at least one partition"):
+            PartitionPlan.build(store, 0, "rows")
+
+    def test_materialized_partitions_are_real_stores(self, store, tmp_path):
+        plan = PartitionPlan.build(store, 2, "rows")
+        paths = materialize_partitions(store, plan, root=tmp_path / "parts")
+        assert sorted(paths) == [0, 1]
+        for spec in plan.partitions:
+            partition = SegmentedStore.open(paths[spec.index])
+            assert partition.num_references == spec.num_references
+            assert partition.num_segments == len(spec.segment_ids)
+            # Zero-copy: rows come from the original segment archives.
+            rows = [record.identifier for record in partition.iter_records()]
+            expected = []
+            for segment_id in spec.segment_ids:
+                expected.extend(store.segment(segment_id).identifiers)
+            assert rows == expected
+            partition.close()
+
+
+class TestAssignReplicas:
+    def test_round_robin_deal(self):
+        groups = assign_replicas(["a", "b", "c", "d"], 2)
+        assert groups == [["a", "c"], ["b", "d"]]
+
+    def test_requires_one_worker_per_partition(self):
+        with pytest.raises(ValueError, match="at least that many"):
+            assign_replicas(["a"], 2)
+
+
+# ----------------------------------------------------------------------
+# the merge rule
+# ----------------------------------------------------------------------
+
+
+def _spec(index: int, offset: int, rows: int) -> PartitionSpec:
+    return PartitionSpec(
+        index=index,
+        segment_ids=(index,),
+        num_references=rows,
+        mass_min=0.0,
+        mass_max=1e9,
+        global_offsets=(offset,),
+        local_offsets=(0,),
+    )
+
+
+def _payload(score, mass, position, mode="open"):
+    return {
+        "query_id": "q",
+        "reference_id": f"r{position}",
+        "peptide_key": None,
+        "score": score,
+        "is_decoy": False,
+        "precursor_mass_difference": 0.0,
+        "mode": mode,
+        "q_value": None,
+        "reference_mass": mass,
+        "library_position": position,
+    }
+
+
+class TestMergeRule:
+    def test_highest_score_wins(self):
+        merged = merge_psm_payloads(
+            [
+                (_payload(10.0, 500.0, 1), _spec(0, 0, 5)),
+                (_payload(12.0, 700.0, 2), _spec(1, 5, 5)),
+            ]
+        )
+        assert merged["reference_id"] == "r2"
+        assert merged["library_position"] == 7  # globalized
+
+    def test_score_tie_breaks_to_lower_mass(self):
+        merged = merge_psm_payloads(
+            [
+                (_payload(10.0, 700.0, 0), _spec(0, 0, 5)),
+                (_payload(10.0, 500.0, 0), _spec(1, 5, 5)),
+            ]
+        )
+        assert merged["reference_mass"] == 500.0
+
+    def test_full_tie_breaks_to_lower_global_row(self):
+        merged = merge_psm_payloads(
+            [
+                (_payload(10.0, 500.0, 3), _spec(0, 0, 5)),
+                (_payload(10.0, 500.0, 0), _spec(1, 5, 5)),
+            ]
+        )
+        # Local row 0 of partition 1 is global row 5, local row 3 of
+        # partition 0 is global row 3: the lower global row wins even
+        # though its local row is higher.
+        assert merged["library_position"] == 3
+
+    def test_standard_candidates_exclude_open_ones(self):
+        # Cascade composition: any standard-pass winner means the
+        # single-node standard pass matched, so a higher-scoring
+        # open-pass candidate from another partition must lose.
+        merged = merge_psm_payloads(
+            [
+                (_payload(99.0, 500.0, 0, mode="open"), _spec(0, 0, 5)),
+                (_payload(1.0, 500.0, 0, mode="standard"), _spec(1, 5, 5)),
+            ]
+        )
+        assert merged["mode"] == "standard"
+        assert merged["score"] == 1.0
+
+    def test_all_none_merges_to_none(self):
+        assert (
+            merge_psm_payloads(
+                [(None, _spec(0, 0, 5)), (None, _spec(1, 5, 5))]
+            )
+            is None
+        )
+
+    def test_missing_merge_fields_raise(self):
+        stale = _payload(10.0, 500.0, 1)
+        stale["reference_mass"] = None
+        with pytest.raises(CoordinatorError, match="merge fields"):
+            merge_psm_payloads([(stale, _spec(0, 0, 5))])
+
+    def test_input_payloads_are_not_mutated(self):
+        payload = _payload(10.0, 500.0, 2)
+        merge_psm_payloads([(payload, _spec(0, 10, 5))])
+        assert payload["library_position"] == 2
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=st.data())
+def test_partitioned_lexsort_merge_equals_global(data):
+    """Partition-local lexsort winners + merge == the global lexsort.
+
+    Draws a synthetic score/mass table with deliberate ties, splits it
+    into contiguous partitions, computes each partition's winner with
+    the engines' exact ``np.lexsort((positions, masses, -scores))``
+    rule, and asserts the merged winner is the global rule's winner —
+    the property that makes the coordinator bit-identical.
+    """
+    num_rows = data.draw(st.integers(1, 24), label="rows")
+    scores = np.asarray(
+        data.draw(
+            st.lists(
+                st.sampled_from([1.0, 2.0, 3.0]),
+                min_size=num_rows,
+                max_size=num_rows,
+            ),
+            label="scores",
+        )
+    )
+    masses = np.asarray(
+        data.draw(
+            st.lists(
+                st.sampled_from([100.0, 200.0, 300.0]),
+                min_size=num_rows,
+                max_size=num_rows,
+            ),
+            label="masses",
+        )
+    )
+    num_parts = data.draw(st.integers(1, 4), label="parts")
+    cuts = sorted(
+        data.draw(
+            st.lists(
+                st.integers(0, num_rows),
+                min_size=num_parts - 1,
+                max_size=num_parts - 1,
+            ),
+            label="cuts",
+        )
+    )
+    bounds = [0, *cuts, num_rows]
+    positions = np.arange(num_rows)
+    global_winner = int(np.lexsort((positions, masses, -scores))[0])
+
+    entries = []
+    for index in range(num_parts):
+        lo, hi = bounds[index], bounds[index + 1]
+        spec = _spec(index, lo, max(hi - lo, 1))
+        if hi == lo:
+            entries.append((None, spec))
+            continue
+        local = np.lexsort(
+            (positions[lo:hi] - lo, masses[lo:hi], -scores[lo:hi])
+        )[0]
+        entries.append(
+            (
+                _payload(
+                    float(scores[lo + local]),
+                    float(masses[lo + local]),
+                    int(local),
+                ),
+                spec,
+            )
+        )
+    merged = merge_psm_payloads(entries)
+    assert merged is not None
+    assert merged["library_position"] == global_winner
+    assert merged["score"] == scores[global_winner]
+    assert merged["reference_mass"] == masses[global_winner]
+
+
+# ----------------------------------------------------------------------
+# bit-identity across partition counts and strategies (no HTTP)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("strategy", ["rows", "mass"])
+@pytest.mark.parametrize("num_partitions", [1, 2, 3, 5])
+def test_partitioned_search_merges_bit_identically(
+    store, queries, baseline, tmp_path, strategy, num_partitions
+):
+    plan = PartitionPlan.build(store, num_partitions, strategy)
+    paths = materialize_partitions(store, plan, root=tmp_path / "parts")
+    per_partition = {}
+    for spec in plan.partitions:
+        with SegmentedSearcher(paths[spec.index]) as searcher:
+            result = searcher.search(queries)
+        per_partition[spec.index] = {
+            psm.query_id: psm.to_dict() for psm in result.psms
+        }
+    for query in queries:
+        entries = [
+            (
+                per_partition[spec.index].get(query.identifier),
+                spec,
+            )
+            for spec in plan.partitions
+        ]
+        merged = merge_psm_payloads(entries)
+        assert merged == baseline.get(query.identifier), (
+            f"{strategy}/{num_partitions}: {query.identifier} diverged"
+        )
+
+
+# ----------------------------------------------------------------------
+# the asyncio client
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def worker_server(store):
+    service = SearchService(
+        store.root, ServiceConfig(max_batch=8, max_wait_ms=2.0)
+    )
+    server = start_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}", server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=10)
+    service.close()
+
+
+class _OneRequestPerConnectionServer(socketserver.ThreadingTCPServer):
+    """Serves one JSON response per connection, then closes it silently.
+
+    Simulates a worker whose keep-alive sockets die between requests
+    (idle timeout, restart) without advertising ``Connection: close``.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self):
+        self.connections = 0
+        self.requests = 0
+        self._lock = threading.Lock()
+
+        outer = self
+
+        class Handler(socketserver.StreamRequestHandler):
+            def handle(self):
+                with outer._lock:
+                    outer.connections += 1
+                # Read one request: headers, then the body if any.
+                length = 0
+                while True:
+                    line = self.rfile.readline()
+                    if not line or line in (b"\r\n", b"\n"):
+                        break
+                    if line.lower().startswith(b"content-length:"):
+                        length = int(line.split(b":", 1)[1])
+                if length:
+                    self.rfile.read(length)
+                with outer._lock:
+                    outer.requests += 1
+                body = json.dumps({"status": "ok"}).encode()
+                self.wfile.write(
+                    b"HTTP/1.1 200 OK\r\n"
+                    b"Content-Type: application/json\r\n"
+                    + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                    + body
+                )
+                # Returning closes the connection without a close header.
+
+        super().__init__(("127.0.0.1", 0), Handler)
+
+
+class TestAsyncSearchClient:
+    def test_round_trips_and_reuses_the_connection(
+        self, worker_server, queries
+    ):
+        url, _server = worker_server
+
+        async def scenario():
+            client = AsyncSearchClient(url)
+            status, health = await client.request_json("GET", "/healthz")
+            assert status == 200 and health["status"] == "ok"
+            status, reply = await client.request_json(
+                "POST",
+                "/search",
+                {"spectrum": spectrum_to_payload(queries[0])},
+            )
+            assert status == 200 and "psm" in reply
+            # Sequential requests reuse one pooled connection.
+            assert len(client._idle) == 1
+            await client.close()
+
+        asyncio.run(scenario())
+
+    def test_stale_pooled_connection_retries_once(self):
+        server = _OneRequestPerConnectionServer()
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address
+
+        async def scenario():
+            client = AsyncSearchClient(f"http://{host}:{port}")
+            for _ in range(3):
+                status, _body = await client.request_json("GET", "/healthz")
+                assert status == 200
+            await client.close()
+
+        try:
+            asyncio.run(scenario())
+            # Three successful requests over three connections: each
+            # reuse hit a closed socket and was transparently retried
+            # on a fresh one.
+            assert server.requests == 3
+            assert server.connections == 3
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+    def test_fresh_connection_failure_is_not_retried(self):
+        async def scenario():
+            probe = socketserver.TCPServer(("127.0.0.1", 0), None)
+            host, port = probe.server_address
+            probe.server_close()  # port is now closed
+            client = AsyncSearchClient(f"http://{host}:{port}")
+            with pytest.raises(AsyncClientError, match="cannot reach"):
+                await client.request_json("GET", "/healthz")
+            await client.close()
+
+        asyncio.run(scenario())
+
+    def test_rejects_non_http_urls(self):
+        with pytest.raises(ValueError, match="plain http"):
+            AsyncSearchClient("https://example.com")
+
+
+# ----------------------------------------------------------------------
+# coordinator end-to-end over in-process workers
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def coordinator_stack(store, tmp_path_factory):
+    """2 partitions, 2 in-thread workers, coordinator + HTTP front."""
+    plan = PartitionPlan.build(store, 2, "rows")
+    paths = materialize_partitions(
+        store, plan, root=tmp_path_factory.mktemp("parts")
+    )
+    workers = []
+    urls = []
+    for spec in plan.partitions:
+        service = SearchService(
+            paths[spec.index], ServiceConfig(max_batch=8, max_wait_ms=2.0)
+        )
+        server = start_server(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        workers.append((service, server, thread))
+        urls.append(f"http://{host}:{port}")
+    coordinator = Coordinator(
+        plan.partitions, [[url] for url in urls], probe_interval=0.5
+    )
+    coordinator.wait_ready(timeout=30)
+    front = start_coordinator_server(
+        CoordinatorService(coordinator, max_inflight=16)
+    )
+    front_thread = threading.Thread(target=front.serve_forever, daemon=True)
+    front_thread.start()
+    host, port = front.server_address[:2]
+    yield f"http://{host}:{port}", coordinator, plan
+    front.shutdown()
+    front.server_close()
+    front_thread.join(timeout=10)
+    coordinator.close()
+    for service, server, thread in workers:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+        service.close()
+
+
+class TestCoordinatorHTTP:
+    def test_batch_is_bit_identical_to_single_node(
+        self, coordinator_stack, queries, baseline
+    ):
+        url, _coordinator, _plan = coordinator_stack
+        client = SearchClient(url)
+        psms = client.search_batch(queries)
+        assert len(psms) == len(queries)
+        for query, psm in zip(queries, psms):
+            expected = baseline.get(query.identifier)
+            payload = psm.to_dict() if psm is not None else None
+            assert payload == expected
+
+    def test_single_search_matches_and_carries_request_id(
+        self, coordinator_stack, queries, baseline
+    ):
+        url, _coordinator, _plan = coordinator_stack
+        client = SearchClient(url)
+        reply = client.search_detailed(queries[0], request_id="coord-test-1")
+        assert reply["request_id"] == "coord-test-1"
+        assert reply["route"] == "default"
+        assert reply["psm"] == baseline.get(queries[0].identifier)
+
+    def test_healthz_reports_fleet_and_topology(self, coordinator_stack):
+        url, _coordinator, plan = coordinator_stack
+        health = SearchClient(url).healthz()
+        assert health["status"] == "ok"
+        assert health["role"] == "coordinator"
+        assert health["draining"] is False
+        assert health["num_partitions"] == len(plan)
+        assert health["num_references"] == plan.num_references
+
+    def test_stats_exposes_workers_and_admission(self, coordinator_stack):
+        url, _coordinator, plan = coordinator_stack
+        stats = SearchClient(url).stats()
+        assert stats["max_inflight"] == 16
+        assert len(stats["partitions"]) == len(plan)
+        for partition in stats["partitions"]:
+            assert partition["workers"]
+            assert all(w["healthy"] for w in partition["workers"])
+
+    def test_metrics_exports_fanout_counters(
+        self, coordinator_stack, queries
+    ):
+        url, _coordinator, _plan = coordinator_stack
+        client = SearchClient(url)
+        client.search(queries[0])
+        text = client.metrics()
+        assert "hdoms_coord_requests_total" in text
+        assert "hdoms_coord_scatter_total" in text
+        assert "hdoms_coord_fanout_partitions" in text
+
+    def test_unknown_route_rejected(self, coordinator_stack, queries):
+        url, _coordinator, _plan = coordinator_stack
+        client = SearchClient(url, route="yeast")
+        with pytest.raises(ServiceError, match="only the 'default'") as info:
+            client.search(queries[0])
+        assert info.value.status == 400
+
+    def test_unknown_path_is_404(self, coordinator_stack):
+        url, _coordinator, _plan = coordinator_stack
+        with pytest.raises(ServiceError) as info:
+            SearchClient(url)._request("GET", "/nope")
+        assert info.value.status == 404
+
+    def test_bad_spectrum_rejected_before_admission(self, coordinator_stack):
+        url, coordinator, _plan = coordinator_stack
+        with pytest.raises(ServiceError) as info:
+            SearchClient(url)._request(
+                "POST", "/search", {"spectrum": {"identifier": "broken"}}
+            )
+        assert info.value.status == 400
+
+    def test_full_admission_gate_says_429_with_retry_after(
+        self, coordinator_stack, queries
+    ):
+        _url, coordinator, _plan = coordinator_stack
+        # A sibling front-end sharing the coordinator but admitting
+        # nothing: every search must bounce with 429 + Retry-After.
+        front = start_coordinator_server(
+            CoordinatorService(coordinator, max_inflight=0)
+        )
+        thread = threading.Thread(target=front.serve_forever, daemon=True)
+        thread.start()
+        host, port = front.server_address[:2]
+        try:
+            connection = http.client.HTTPConnection(host, port, timeout=10)
+            body = json.dumps(
+                {"spectrum": spectrum_to_payload(queries[0])}
+            )
+            connection.request(
+                "POST",
+                "/search",
+                body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            payload = json.loads(response.read())
+            assert response.status == 429
+            assert response.getheader("Retry-After") == "1"
+            assert "capacity" in payload["error"]
+            rejected = coordinator.metrics.rejected.value(endpoint="search")
+            assert rejected >= 1
+            connection.close()
+        finally:
+            front.shutdown()
+            front.server_close()
+            thread.join(timeout=10)
+
+    def test_draining_coordinator_says_503_on_healthz(self, store):
+        # A dedicated front (shutting down the shared one would break
+        # the other tests): healthz flips to 503/draining once
+        # shutdown begins, exactly like a worker.
+        plan = PartitionPlan.build(store, 1, "rows")
+        coordinator = Coordinator(
+            plan.partitions,
+            [["http://127.0.0.1:9"]],  # never probed successfully; fine
+            probe_interval=30.0,
+        )
+        front = start_coordinator_server(
+            CoordinatorService(coordinator, max_inflight=4)
+        )
+        thread = threading.Thread(target=front.serve_forever, daemon=True)
+        thread.start()
+        host, port = front.server_address[:2]
+        try:
+            connection = http.client.HTTPConnection(host, port, timeout=10)
+            # 200 responses keep the connection alive (error responses
+            # close it), so open the keep-alive socket via /stats.
+            connection.request("GET", "/stats")
+            first = connection.getresponse()
+            first.read()
+            assert first.status == 200
+            front.shutdown()
+            # The pooled keep-alive connection is still open; the
+            # draining server must answer 503 with the drain marker.
+            connection.request("GET", "/healthz")
+            second = connection.getresponse()
+            payload = json.loads(second.read())
+            assert second.status == 503
+            assert payload["draining"] is True
+            connection.close()
+        finally:
+            front.shutdown()
+            front.server_close()
+            thread.join(timeout=10)
+            coordinator.close()
+
+
+class TestStandardModeRouting:
+    def test_narrow_windows_skip_partitions_and_stay_identical(
+        self, references, queries, space_config, binning, tmp_path
+    ):
+        # A mass-sorted store gives the mass strategy near-disjoint
+        # hulls, so standard-mode queries route to a strict subset of
+        # partitions — and the answers still match single-node exactly.
+        ordered = sorted(references, key=lambda s: s.neutral_mass)
+        store = build_store(
+            ordered,
+            tmp_path / "sorted-store",
+            space_config=space_config,
+            binning=binning,
+            segment_rows=13,
+        )
+        try:
+            from repro.oms.search import HDSearchConfig
+
+            config = HDSearchConfig(mode="standard")
+            with SegmentedSearcher(store, config=config) as searcher:
+                truth = {
+                    psm.query_id: psm.to_dict()
+                    for psm in searcher.search(queries).psms
+                }
+            plan = PartitionPlan.build(store, 3, "mass")
+            paths = materialize_partitions(store, plan)
+            workers = []
+            urls = []
+            for spec in plan.partitions:
+                service = SearchService(
+                    paths[spec.index],
+                    ServiceConfig(
+                        max_batch=8, max_wait_ms=2.0, mode="standard"
+                    ),
+                )
+                server = start_server(service)
+                thread = threading.Thread(
+                    target=server.serve_forever, daemon=True
+                )
+                thread.start()
+                host, port = server.server_address[:2]
+                workers.append((service, server, thread))
+                urls.append(f"http://{host}:{port}")
+            coordinator = Coordinator(
+                plan.partitions,
+                [[url] for url in urls],
+                mode="standard",
+                standard_tolerance=ServiceConfig().standard_tolerance_da,
+                probe_interval=0.5,
+            )
+            try:
+                coordinator.wait_ready(timeout=30)
+                payloads = [spectrum_to_payload(query) for query in queries]
+                merged = coordinator.search_payloads(payloads)
+                for query, winner in zip(queries, merged):
+                    assert winner == truth.get(query.identifier)
+                skipped = sum(
+                    coordinator.metrics.skipped.value(
+                        partition=str(spec.index)
+                    )
+                    for spec in plan.partitions
+                )
+                assert skipped > 0, (
+                    "mass-partitioned standard search should have "
+                    "skipped at least one partition"
+                )
+            finally:
+                coordinator.close()
+                for service, server, thread in workers:
+                    server.shutdown()
+                    server.server_close()
+                    thread.join(timeout=10)
+                    service.close()
+        finally:
+            store.close()
+
+
+# ----------------------------------------------------------------------
+# hedging / retry plumbing
+# ----------------------------------------------------------------------
+
+
+class TestCoordinatorRobustness:
+    def test_all_replicas_down_is_a_coordinator_error(self, store):
+        plan = PartitionPlan.build(store, 1, "rows")
+        probe = socketserver.TCPServer(("127.0.0.1", 0), None)
+        host, port = probe.server_address
+        probe.server_close()  # dead port
+        coordinator = Coordinator(
+            plan.partitions,
+            [[f"http://{host}:{port}"]],
+            probe_interval=30.0,
+            worker_timeout=5.0,
+        )
+        try:
+            payload = {"spectrum": None}
+            with pytest.raises(CoordinatorError, match="every replica"):
+                coordinator._submit(
+                    coordinator._call_partition(
+                        plan.partitions[0], "/search_batch", payload
+                    )
+                ).result(timeout=30)
+            assert (
+                coordinator.metrics.worker_errors.value(
+                    worker=f"http://{host}:{port}"
+                )
+                >= 1
+            )
+        finally:
+            coordinator.close()
+
+    def test_failed_primary_retries_on_sibling(self, store, queries, baseline):
+        plan = PartitionPlan.build(store, 1, "rows")
+        probe = socketserver.TCPServer(("127.0.0.1", 0), None)
+        dead_host, dead_port = probe.server_address
+        probe.server_close()
+        service = SearchService(
+            store.root, ServiceConfig(max_batch=8, max_wait_ms=2.0)
+        )
+        server = start_server(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        coordinator = Coordinator(
+            plan.partitions,
+            [[f"http://{dead_host}:{dead_port}", f"http://{host}:{port}"]],
+            probe_interval=30.0,
+            worker_timeout=20.0,
+        )
+        try:
+            # No probes have run: both replicas look equally (un)healthy,
+            # so round-robin can pick the dead primary; the retry must
+            # land on the live sibling and the answer stay exact.
+            for _ in range(4):  # cover both round-robin phases
+                merged = coordinator.search_payloads(
+                    [spectrum_to_payload(queries[0])]
+                )
+                assert merged[0] == baseline.get(queries[0].identifier)
+            partition_label = str(plan.partitions[0].index)
+            retried = coordinator.metrics.retries.value(
+                partition=partition_label
+            )
+            assert retried >= 1
+        finally:
+            coordinator.close()
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+            service.close()
+
+    def test_mismatched_worker_is_marked_unhealthy(self, store):
+        # A worker serving the WHOLE store behind a partition spec for
+        # half of it would merge garbage; the prober must reject it.
+        plan = PartitionPlan.build(store, 2, "rows")
+        service = SearchService(
+            store.root, ServiceConfig(max_batch=8, max_wait_ms=2.0)
+        )
+        server = start_server(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        url = f"http://{host}:{port}"
+        coordinator = Coordinator(
+            plan.partitions, [[url], [url]], probe_interval=0.2
+        )
+        try:
+            with pytest.raises(CoordinatorError, match="no healthy worker"):
+                coordinator.wait_ready(timeout=2.0)
+            stats = coordinator.stats()
+            for partition in stats["partitions"]:
+                worker = partition["workers"][0]
+                assert worker["healthy"] is False
+                assert "expects" in worker["last_error"]
+        finally:
+            coordinator.close()
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+            service.close()

@@ -824,6 +824,132 @@ class TestHttpApi:
 
 
 # ----------------------------------------------------------------------
+# client connection reuse + stale-socket retry (satellite)
+# ----------------------------------------------------------------------
+
+
+class TestClientConnectionReuse:
+    def test_hundred_calls_reuse_one_connection(self, index_path):
+        # The regression this pins: the old client opened a fresh TCP
+        # connection per request, so a 100-call loop burned 100
+        # sockets.  The pooled client must use exactly one.
+        from repro.service.server import SearchRequestHandler
+
+        connections = []
+        original_setup = SearchRequestHandler.setup
+
+        def counting_setup(handler):
+            connections.append(handler.client_address)
+            original_setup(handler)
+
+        service = SearchService(index_path, ServiceConfig(max_wait_ms=1.0))
+        server = start_server(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        SearchRequestHandler.setup = counting_setup
+        try:
+            client = SearchClient(f"http://{host}:{port}")
+            for _ in range(100):
+                assert client.healthz()["status"] == "ok"
+            assert len(connections) <= 1
+        finally:
+            SearchRequestHandler.setup = original_setup
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+            service.close()
+
+    def test_stale_pooled_socket_is_retried_transparently(self):
+        # A worker restart (or idle timeout) closes pooled sockets
+        # without warning; the client must absorb exactly one such
+        # failure per call by retrying on a fresh connection.
+        import json as json_module
+        import socketserver
+
+        state = {"connections": 0, "requests": 0}
+        lock = threading.Lock()
+
+        class OneShotHandler(socketserver.StreamRequestHandler):
+            def handle(self):
+                with lock:
+                    state["connections"] += 1
+                length = 0
+                while True:
+                    line = self.rfile.readline()
+                    if not line or line in (b"\r\n", b"\n"):
+                        break
+                    if line.lower().startswith(b"content-length:"):
+                        length = int(line.split(b":", 1)[1])
+                if length:
+                    self.rfile.read(length)
+                with lock:
+                    state["requests"] += 1
+                body = json_module.dumps({"status": "ok"}).encode()
+                self.wfile.write(
+                    b"HTTP/1.1 200 OK\r\n"
+                    b"Content-Type: application/json\r\n"
+                    + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                    + body
+                )
+                # Returning closes the socket with no Connection: close
+                # header -- the client's next reuse hits a dead socket.
+
+        class OneShotServer(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+
+        server = OneShotServer(("127.0.0.1", 0), OneShotHandler)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address
+        try:
+            client = SearchClient(f"http://{host}:{port}")
+            for _ in range(5):
+                assert client.healthz()["status"] == "ok"
+            # Five successes over five connections: every reuse failed
+            # stale and was transparently retried exactly once.
+            assert state["requests"] == 5
+            assert state["connections"] == 5
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+    def test_healthz_reports_draining_during_shutdown(self, index_path):
+        # Load balancers poll /healthz to take a worker out of
+        # rotation; during drain it must answer 503 with the marker
+        # instead of lying "ok" until the socket dies.
+        import http.client
+        import json as json_module
+
+        service = SearchService(index_path, ServiceConfig(max_wait_ms=1.0))
+        server = start_server(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            conn.request("GET", "/healthz")
+            first = conn.getresponse()
+            payload = json_module.loads(first.read())
+            assert first.status == 200
+            assert payload["draining"] is False
+            server.shutdown()  # sets draining before stopping the loop
+            # The keep-alive handler thread still serves this socket.
+            conn.request("GET", "/healthz")
+            second = conn.getresponse()
+            payload = json_module.loads(second.read())
+            assert second.status == 503
+            assert payload == {"status": "draining", "draining": True}
+        finally:
+            conn.close()
+            server.server_close()
+            thread.join(timeout=10)
+            service.close()
+
+
+# ----------------------------------------------------------------------
 # graceful sharded close (satellite)
 # ----------------------------------------------------------------------
 

@@ -538,3 +538,172 @@ class TestShutdownOrdering:
         assert not thread.is_alive(), "search hung across close()"
         assert outcome, "worker finished without recording an outcome"
         searcher.close()  # clean up any pool the racing search rebuilt
+
+
+# ----------------------------------------------------------------------
+# coordinator: SIGKILL a worker mid batch-storm (tentpole fault suite)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def coordinated_fleet(workload_a, binning, tmp_path_factory):
+    """2 partitions x 2 replica subprocess workers + coordinator front.
+
+    Replicas matter: ``assign_replicas`` deals URL ``i`` to partition
+    ``i % 2``, so spawning workers over paths ``[p0, p1, p0, p1]``
+    yields two independent processes per partition — one can be
+    SIGKILLed while its sibling keeps the partition answerable.
+    """
+    from repro.coord import (
+        Coordinator,
+        CoordinatorService,
+        LocalWorkerFleet,
+        PartitionPlan,
+        assign_replicas,
+        materialize_partitions,
+        start_coordinator_server,
+    )
+    from repro.store import SegmentedSearcher, build_store
+
+    root = tmp_path_factory.mktemp("coord-faults")
+    store = build_store(
+        workload_a.references,
+        root / "store",
+        space_config=HDSpaceConfig(
+            dim=512, num_bins=binning.num_bins, num_levels=8, seed=13
+        ),
+        binning=binning,
+        segment_rows=13,
+    )
+    with SegmentedSearcher(store) as searcher:
+        result = searcher.search(workload_a.queries)
+    baseline = {psm.query_id: psm for psm in result.psms}
+
+    plan = PartitionPlan.build(store, 2, "rows")
+    paths = materialize_partitions(store, plan)
+    fleet = LocalWorkerFleet(
+        [paths[0], paths[1], paths[0], paths[1]], workers=0
+    )
+    coordinator = None
+    front = None
+    front_thread = None
+    try:
+        urls = fleet.wait_ready()
+        coordinator = Coordinator(
+            plan.partitions,
+            assign_replicas(urls, len(plan)),
+            probe_interval=0.3,
+            worker_timeout=30.0,
+        )
+        coordinator.wait_ready(timeout=60)
+        front = start_coordinator_server(
+            CoordinatorService(coordinator, max_inflight=32)
+        )
+        front_thread = threading.Thread(
+            target=front.serve_forever, daemon=True
+        )
+        front_thread.start()
+        host, port = front.server_address[:2]
+        yield f"http://{host}:{port}", fleet, coordinator, baseline
+    finally:
+        if front is not None:
+            front.shutdown()
+            front.server_close()
+        if front_thread is not None:
+            front_thread.join(timeout=10)
+        if coordinator is not None:
+            coordinator.close()
+        fleet.close()
+        store.close()
+
+
+class TestKillWorkerMidStorm:
+    NUM_THREADS = 6
+    ROUNDS = 4
+
+    def test_sigkill_mid_storm_never_hangs_or_corrupts(
+        self, coordinated_fleet, workload_a
+    ):
+        from repro.service import ServiceError
+
+        url, fleet, coordinator, baseline = coordinated_fleet
+        queries = workload_a.queries
+        expected = [baseline.get(q.identifier) for q in queries]
+        outcomes = []  # (kind, detail) per request, appended under lock
+        lock = threading.Lock()
+        barrier = threading.Barrier(self.NUM_THREADS + 1)
+
+        def storm(slot):
+            client = SearchClient(url, timeout=120)
+            barrier.wait()
+            for _ in range(self.ROUNDS):
+                try:
+                    psms = client.search_batch(queries)
+                except ServiceError as error:
+                    # A clean, labelled failure is acceptable while the
+                    # fleet is degraded -- silent corruption is not.
+                    with lock:
+                        outcomes.append(("error", error.status))
+                    continue
+                ok = psms == expected
+                with lock:
+                    outcomes.append(("result", ok))
+
+        threads = [
+            threading.Thread(target=storm, args=(slot,))
+            for slot in range(self.NUM_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        time.sleep(0.1)  # let the storm get requests in flight
+        fleet.workers[0].process.kill()  # SIGKILL a partition-0 replica
+        for thread in threads:
+            thread.join(timeout=180)
+            assert not thread.is_alive(), "request hung across SIGKILL"
+
+        assert len(outcomes) == self.NUM_THREADS * self.ROUNDS
+        for kind, detail in outcomes:
+            if kind == "result":
+                assert detail, "batch diverged from single-node baseline"
+            else:
+                assert detail == 503, f"unclean failure status {detail}"
+        # The surviving replica should have absorbed nearly everything.
+        correct = sum(1 for kind, ok in outcomes if kind == "result" and ok)
+        assert correct >= self.NUM_THREADS * self.ROUNDS - self.NUM_THREADS
+
+        # The fleet self-heals: probes mark the dead replica unhealthy,
+        # the sibling keeps partition 0 answerable, /healthz recovers.
+        client = SearchClient(url, timeout=120)
+        deadline = time.time() + 30
+        health = None
+        while time.time() < deadline:
+            try:
+                health = client.healthz()
+                if health["status"] == "ok":
+                    break
+            except ServiceError:
+                pass
+            time.sleep(0.2)
+        assert health is not None and health["status"] == "ok"
+
+        # Post-storm, answers are exact again and the wire metrics
+        # recorded the carnage.
+        assert client.search_batch(queries) == expected
+        samples, _types = parse_prometheus(client.metrics())
+        errors = sum(
+            value
+            for (name, _labels), value in samples.items()
+            if name == "hdoms_coord_worker_errors_total"
+        )
+        assert errors >= 1
+        stats = client.stats()
+        dead_url = fleet.workers[0].url
+        flags = {
+            worker["url"]: worker["healthy"]
+            for partition in stats["partitions"]
+            for worker in partition["workers"]
+        }
+        assert flags[dead_url] is False
+        healthy_count = sum(1 for healthy in flags.values() if healthy)
+        assert healthy_count == 3

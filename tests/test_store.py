@@ -320,6 +320,73 @@ class TestLazySegmentOpening:
             _search_pairs(searcher, baseline, queries)
 
 
+class TestThreadedCounterStorm:
+    def test_storm_counts_exactly(
+        self, tmp_path, references, queries, space_config, binning
+    ):
+        # Twelve threads hammer ONE threaded-mode searcher.  The
+        # counters are observability surface (stats/metrics); unlocked
+        # ``dict[k] = dict.get(k) + 1`` bumps would silently lose
+        # increments under this storm, so the counts must be EXACT,
+        # not approximately right.
+        import threading
+
+        store = build_store(
+            references,
+            tmp_path / "storm-store",
+            space_config=space_config,
+            binning=binning,
+            segment_rows=13,
+        )
+        try:
+            # Measure the per-run batch total on a fresh serial searcher.
+            with SegmentedSearcher(store) as probe:
+                expected = {
+                    psm.query_id: _psm_key(psm)
+                    for psm in probe.search(queries).psms
+                }
+                per_run = sum(probe.segment_batches.values())
+            assert per_run > 0
+
+            num_threads = 12
+            results = [None] * num_threads
+            errors = []
+            with SegmentedSearcher(
+                store, engine=EngineConfig(num_workers=3)
+            ) as searcher:
+                barrier = threading.Barrier(num_threads)
+
+                def storm(slot):
+                    try:
+                        barrier.wait()
+                        results[slot] = searcher.search(queries)
+                    except Exception as error:  # pragma: no cover
+                        errors.append(error)
+
+                threads = [
+                    threading.Thread(target=storm, args=(slot,))
+                    for slot in range(num_threads)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                assert not errors
+                # Every segment materialized exactly once...
+                assert searcher.segments_opened == store.num_segments
+                batches = searcher.segment_batches
+                # ...and every scored batch counted exactly once.
+                assert sum(batches.values()) == num_threads * per_run
+            assert all(count == 1 for count in store.open_counts)
+            for result in results:
+                assert result is not None
+                assert {
+                    psm.query_id: _psm_key(psm) for psm in result.psms
+                } == expected
+        finally:
+            store.close()
+
+
 class TestAnnOnStore:
     def test_persisted_tables_reused_and_parity(
         self, tmp_path, references, queries, space_config, binning
